@@ -1,0 +1,116 @@
+// Regenerates the paper's Appendix A artifacts (Figs. A.1–A.13): each
+// user-study question rendered both ways — a row of Contextual Glyphs and
+// the same candidates as bar charts — exactly the side-by-side sheets the
+// 50 participants saw. One SVG per question per encoding, plus a combined
+// sample sheet of interesting vs non-interesting groups (Fig. A.1–A.3).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "study/user_study.h"
+#include "viz/barchart.h"
+#include "viz/glyph.h"
+
+namespace {
+
+using maras::viz::SvgDocument;
+
+// Lays candidate renderings out in a row with index captions.
+SvgDocument QuestionSheet(const std::vector<SvgDocument>& panels,
+                          const std::string& title, double panel_w,
+                          double panel_h) {
+  const double caption = 26.0;
+  SvgDocument sheet(panel_w * static_cast<double>(panels.size()) + 20.0,
+                    panel_h + caption + 40.0);
+  SvgDocument::TextStyle heading;
+  heading.font_size = 14.0;
+  heading.bold = true;
+  sheet.Text(12.0, 22.0, title, heading);
+  for (size_t i = 0; i < panels.size(); ++i) {
+    const double x = 10.0 + panel_w * static_cast<double>(i);
+    sheet.Embed(panels[i], x, 34.0,
+                std::min(panel_w / panels[i].width(),
+                         panel_h / panels[i].height()));
+    SvgDocument::TextStyle label;
+    label.font_size = 12.0;
+    label.anchor = "middle";
+    sheet.Text(x + panel_w / 2.0, panel_h + caption + 28.0,
+               "(" + std::string(1, static_cast<char>('a' + i)) + ")",
+               label);
+  }
+  return sheet;
+}
+
+}  // namespace
+
+int main() {
+  using namespace maras;
+  const double scale = bench::ScaleFromEnv();
+  bench::PrintHeader(
+      "Appendix A — user-study question sheets (glyph vs barchart)");
+  bench::PreparedQuarter prepared = bench::PrepareQuarter(1, scale);
+  core::MarasAnalyzer analyzer(bench::DefaultAnalyzerOptions(scale));
+  auto analysis = analyzer.Analyze(prepared.pre);
+  MARAS_CHECK(analysis.ok()) << analysis.status().ToString();
+  auto ranked = core::RankMcacs(
+      analysis->mcacs, core::RankingMethod::kExclusivenessConfidence, {});
+  auto questions = study::BuildQuestions(ranked, prepared.pre.items,
+                                         /*decoys=*/3, bench::SeedFromEnv());
+  MARAS_CHECK(!questions.empty()) << "no questions could be built";
+
+  viz::ContextualGlyphRenderer glyph_renderer;
+  viz::BarChartRenderer bar_renderer;
+
+  for (const study::StudyQuestion& question : questions) {
+    std::vector<SvgDocument> glyph_panels;
+    std::vector<SvgDocument> bar_panels;
+    for (viz::GlyphSpec spec : question.candidates) {
+      spec.title.clear();  // participants saw unlabeled candidates
+      glyph_panels.push_back(glyph_renderer.Render(spec));
+      bar_panels.push_back(bar_renderer.Render(spec));
+    }
+    std::string stem =
+        "appendix_q" + std::to_string(question.drugs_per_rule) + "drugs";
+    std::string prompt = "Pick the most interesting " +
+                         std::to_string(question.drugs_per_rule) +
+                         "-drug interaction";
+    auto emit = [&](const SvgDocument& doc, const std::string& path) {
+      auto status = doc.WriteFile(path);
+      std::printf("  %-34s %s\n", path.c_str(),
+                  status.ok() ? "written" : status.ToString().c_str());
+    };
+    emit(QuestionSheet(glyph_panels, prompt + " (contextual glyphs)", 200,
+                       200),
+         stem + "_glyphs.svg");
+    emit(QuestionSheet(bar_panels, prompt + " (bar charts)", 220, 160),
+         stem + "_barcharts.svg");
+  }
+
+  // Sample sheet (Figs. A.1–A.3 style): top-ranked vs bottom-ranked cluster
+  // of each size, side by side in both encodings.
+  std::vector<SvgDocument> sample_panels;
+  for (const auto& question : questions) {
+    // candidates[correct] is the interesting one; pick any other as the
+    // non-interesting sample.
+    size_t correct = question.correct_indices.empty()
+                         ? 0
+                         : question.correct_indices[0];
+    size_t boring = correct == 0 ? question.candidates.size() - 1 : 0;
+    viz::GlyphSpec interesting = question.candidates[correct];
+    viz::GlyphSpec uninteresting = question.candidates[boring];
+    interesting.title = "interesting";
+    uninteresting.title = "not interesting";
+    sample_panels.push_back(glyph_renderer.Render(interesting));
+    sample_panels.push_back(glyph_renderer.Render(uninteresting));
+  }
+  auto sample = QuestionSheet(sample_panels,
+                              "Samples of interesting and non-interesting "
+                              "groups (per antecedent size)",
+                              190, 200);
+  auto status = sample.WriteFile("appendix_samples.svg");
+  std::printf("  %-34s %s\n", "appendix_samples.svg",
+              status.ok() ? "written" : status.ToString().c_str());
+  std::printf("\n%zu question sheets rendered\n", questions.size() * 2 + 1);
+  return 0;
+}

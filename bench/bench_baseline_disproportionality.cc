@@ -1,0 +1,193 @@
+// Baseline comparison the paper's Related Work motivates: rank the same
+// multi-drug clusters with the classic pharmacovigilance disproportionality
+// statistics (PRR, ROR, BCPNN IC — Tatonetti et al. / DuMouchel style) and
+// with MARAS exclusiveness, then measure (a) mean ground-truth signal rank
+// and (b) how many single-drug-driven decoys pollute each method's top-20.
+// The paper's claim: disproportionality finds *associations* but cannot
+// separate interaction signals from single-drug effects; exclusiveness can.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/disproportionality.h"
+
+namespace {
+
+using maras::core::RankedMcac;
+
+// Scores every MCAC with `fn` and returns them sorted descending.
+template <typename Fn>
+std::vector<RankedMcac> RankBy(const std::vector<maras::core::Mcac>& mcacs,
+                               Fn&& fn) {
+  std::vector<RankedMcac> ranked;
+  ranked.reserve(mcacs.size());
+  for (const auto& mcac : mcacs) {
+    ranked.push_back(RankedMcac{mcac, fn(mcac)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMcac& a, const RankedMcac& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.mcac.target.drugs < b.mcac.target.drugs;
+            });
+  return ranked;
+}
+
+struct NamedItemset {
+  std::string name;
+  maras::mining::Itemset drugs;
+  std::set<maras::mining::ItemId> adrs;
+};
+
+std::vector<NamedItemset> ResolveSignals(
+    const maras::faers::GroundTruth& truth,
+    const maras::mining::ItemDictionary& items) {
+  std::vector<NamedItemset> resolved;
+  for (const auto& signal : truth.signals) {
+    NamedItemset entry;
+    entry.name = signal.name;
+    bool ok = true;
+    for (const auto& name : signal.drugs) {
+      auto id = items.Lookup(name);
+      if (!id.ok()) {
+        ok = false;
+        break;
+      }
+      entry.drugs.push_back(*id);
+    }
+    for (const auto& name : signal.adrs) {
+      auto id = items.Lookup(name);
+      if (id.ok()) entry.adrs.insert(*id);
+    }
+    if (ok && !entry.adrs.empty()) {
+      entry.drugs = maras::mining::MakeItemset(std::move(entry.drugs));
+      resolved.push_back(std::move(entry));
+    }
+  }
+  return resolved;
+}
+
+double MeanRank(const std::vector<RankedMcac>& ranked,
+                const std::vector<NamedItemset>& signals) {
+  double sum = 0.0;
+  for (const auto& signal : signals) {
+    size_t rank = ranked.size();
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (!maras::mining::IsSubset(signal.drugs,
+                                   ranked[i].mcac.target.drugs)) {
+        continue;
+      }
+      bool hit = false;
+      for (auto id : ranked[i].mcac.target.adrs) {
+        hit |= signal.adrs.count(id) > 0;
+      }
+      if (hit) {
+        rank = i;
+        break;
+      }
+    }
+    sum += static_cast<double>(rank + 1);
+  }
+  return signals.empty() ? 0.0 : sum / static_cast<double>(signals.size());
+}
+
+// Counts top-k entries dominated by a single drug: some context rule
+// reaches >= 80% of the target's confidence (the decoys disproportionality
+// cannot reject).
+size_t DominatedInTopK(const std::vector<RankedMcac>& ranked, size_t k) {
+  size_t dominated = 0;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    const auto& mcac = ranked[i].mcac;
+    if (mcac.levels.empty() || mcac.levels[0].empty()) continue;
+    double best_single = 0.0;
+    for (const auto& rule : mcac.levels[0]) {
+      best_single = std::max(best_single, rule.confidence);
+    }
+    if (best_single >= 0.8 * mcac.target.confidence) ++dominated;
+  }
+  return dominated;
+}
+
+}  // namespace
+
+int main() {
+  using namespace maras;
+  const double scale = bench::ScaleFromEnv();
+  bench::PrintHeader(
+      "Baseline — disproportionality statistics vs MARAS exclusiveness");
+  bench::PreparedQuarter prepared = bench::PrepareQuarter(4, scale);
+  core::MarasAnalyzer analyzer(bench::DefaultAnalyzerOptions(scale));
+  auto analysis = analyzer.Analyze(prepared.pre);
+  MARAS_CHECK(analysis.ok()) << analysis.status().ToString();
+  const auto& db = prepared.pre.transactions;
+  auto signals = ResolveSignals(prepared.ground_truth, prepared.pre.items);
+  std::printf("clusters: %zu, resolvable ground-truth signals: %zu\n\n",
+              analysis->mcacs.size(), signals.size());
+
+  core::ExclusivenessOptions scoring;
+  scoring.theta = 0.5;
+
+  struct Method {
+    const char* name;
+    std::vector<RankedMcac> ranked;
+  };
+  std::vector<Method> methods;
+  methods.push_back({"PRR", RankBy(analysis->mcacs, [&](const core::Mcac& m) {
+                       return core::EvaluateDisproportionality(db, m.target)
+                           .prr;
+                     })});
+  methods.push_back({"ROR", RankBy(analysis->mcacs, [&](const core::Mcac& m) {
+                       return core::EvaluateDisproportionality(db, m.target)
+                           .ror;
+                     })});
+  methods.push_back({"BCPNN IC",
+                     RankBy(analysis->mcacs, [&](const core::Mcac& m) {
+                       return core::EvaluateDisproportionality(db, m.target)
+                           .information_component;
+                     })});
+  methods.push_back(
+      {"exclusiveness", RankBy(analysis->mcacs, [&](const core::Mcac& m) {
+         return core::Exclusiveness(m, scoring);
+       })});
+
+  std::printf("%-15s | %-18s | %s\n", "method", "mean signal rank",
+              "single-drug-dominated in top-20");
+  std::printf("----------------+--------------------+-------------------------------\n");
+  double excl_rank = 0, best_baseline_rank = 1e18;
+  size_t excl_dominated = 0, min_baseline_dominated = SIZE_MAX;
+  for (const auto& method : methods) {
+    double mean_rank = MeanRank(method.ranked, signals);
+    size_t dominated = DominatedInTopK(method.ranked, 20);
+    std::printf("%-15s | %18.1f | %zu/20\n", method.name, mean_rank,
+                dominated);
+    if (std::string(method.name) == "exclusiveness") {
+      excl_rank = mean_rank;
+      excl_dominated = dominated;
+    } else {
+      best_baseline_rank = std::min(best_baseline_rank, mean_rank);
+      min_baseline_dominated = std::min(min_baseline_dominated, dominated);
+    }
+  }
+
+  // Evans signal criterion coverage: how many clusters would classic PRR
+  // surveillance flag at all?
+  size_t evans = 0;
+  for (const auto& mcac : analysis->mcacs) {
+    if (core::EvaluateDisproportionality(db, mcac.target)
+            .MeetsEvansCriteria()) {
+      ++evans;
+    }
+  }
+  std::printf("\nEvans criterion (PRR>=2, chi2>=4, a>=3) flags %zu/%zu "
+              "clusters — it measures association, not interaction.\n",
+              evans, analysis->mcacs.size());
+
+  bool ok = excl_dominated <= min_baseline_dominated;
+  std::printf("\nPaper claim (exclusiveness top-20 carries no more "
+              "single-drug-dominated decoys than any baseline): %s\n",
+              ok ? "REPRODUCED" : "NOT reproduced");
+  std::printf("(mean ranks: exclusiveness %.1f vs best baseline %.1f)\n",
+              excl_rank, best_baseline_rank);
+  return ok ? 0 : 1;
+}

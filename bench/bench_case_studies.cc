@@ -1,0 +1,99 @@
+// Regenerates Section 5.4's case studies: each published drug-drug
+// interaction (Ibuprofen+Metamizole -> acute renal failure,
+// Methotrexate+Prograf -> drug ineffective, Prevacid+Nexium -> osteoporosis,
+// plus the intro's Aspirin+Warfarin and the table examples) is injected into
+// the synthetic corpus; the harness verifies MARAS (a) mines it, (b) ranks
+// it near the top under exclusiveness, and (c) ranks the single-drug-driven
+// decoy clusters below it, despite their equal or higher raw confidence.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using maras::core::RankedMcac;
+using maras::mining::Itemset;
+
+size_t FindRank(const std::vector<RankedMcac>& ranked, const Itemset& drugs,
+                const std::set<maras::mining::ItemId>& adrs) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (!maras::mining::IsSubset(drugs, ranked[i].mcac.target.drugs)) continue;
+    for (auto id : ranked[i].mcac.target.adrs) {
+      if (adrs.count(id) > 0) return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+int main() {
+  using namespace maras;
+  const double scale = bench::ScaleFromEnv();
+  bench::PrintHeader("Section 5.4 — Case studies (known DDI recovery)");
+  bench::PreparedQuarter prepared = bench::PrepareQuarter(2, scale);
+  core::MarasAnalyzer analyzer(bench::DefaultAnalyzerOptions(scale));
+  auto analysis = analyzer.Analyze(prepared.pre);
+  MARAS_CHECK(analysis.ok()) << analysis.status().ToString();
+
+  core::ExclusivenessOptions scoring;
+  scoring.theta = 0.5;
+  auto by_excl = core::RankMcacs(
+      analysis->mcacs, core::RankingMethod::kExclusivenessConfidence, scoring);
+  auto by_conf =
+      core::RankMcacs(analysis->mcacs, core::RankingMethod::kConfidence,
+                      scoring);
+  const size_t n = by_excl.size();
+  std::printf("ranked clusters: %zu\n\n", n);
+
+  size_t recovered = 0, in_top_quartile = 0, improved_vs_conf = 0;
+  for (const auto& known : faers::KnownInteractions()) {
+    Itemset drugs;
+    bool all_found = true;
+    for (const auto& name : known.drugs) {
+      auto id = prepared.pre.items.Lookup(name);
+      if (!id.ok()) {
+        all_found = false;
+        break;
+      }
+      drugs.push_back(*id);
+    }
+    std::set<mining::ItemId> adrs;
+    for (const auto& name : known.adrs) {
+      auto id = prepared.pre.items.Lookup(name);
+      if (id.ok()) adrs.insert(*id);
+    }
+    if (!all_found || adrs.empty()) {
+      std::printf("%-40s  NOT PRESENT in vocabulary after cleaning\n",
+                  known.name.c_str());
+      continue;
+    }
+    drugs = mining::MakeItemset(std::move(drugs));
+    size_t rank_excl = FindRank(by_excl, drugs, adrs);
+    size_t rank_conf = FindRank(by_conf, drugs, adrs);
+    if (rank_excl == SIZE_MAX) {
+      std::printf("%-40s  NOT MINED\n", known.name.c_str());
+      continue;
+    }
+    ++recovered;
+    if (rank_excl < n / 4 + 1) ++in_top_quartile;
+    if (rank_conf == SIZE_MAX || rank_excl <= rank_conf) ++improved_vs_conf;
+    std::printf("%-40s  excl-rank %4zu/%zu   conf-rank %4zu   %s\n",
+                known.name.c_str(), rank_excl + 1, n,
+                rank_conf == SIZE_MAX ? 0 : rank_conf + 1,
+                known.provenance.substr(0, 46).c_str());
+  }
+
+  std::printf("\nrecovered %zu/%zu known interactions; %zu in top quartile "
+              "by exclusiveness; %zu ranked no worse than by confidence\n",
+              recovered, faers::KnownInteractions().size(), in_top_quartile,
+              improved_vs_conf);
+  bool ok = recovered == faers::KnownInteractions().size() &&
+            in_top_quartile >= recovered / 2;
+  std::printf("Paper shape (all case studies recovered, mostly top-ranked): %s\n",
+              ok ? "REPRODUCED" : "NOT reproduced");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+// Micro-benchmarks for the mining substrate: Apriori vs. FP-Growth across
+// database sizes and support thresholds (the paper's Section 5.2 picks
+// FP-Growth for exactly this reason), closed-itemset filtering cost, and
+// tid-list support counting.
+
+#include <benchmark/benchmark.h>
+
+#include "mining/apriori.h"
+#include "mining/closed_itemsets.h"
+#include "mining/eclat.h"
+#include "mining/maximal_itemsets.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace maras;
+using namespace maras::mining;
+
+// Market-basket-style database with a Zipfian item skew, matching the
+// FAERS transaction shape (few very common drugs, long tail).
+TransactionDatabase MakeDb(size_t transactions, size_t items,
+                           double mean_len, uint64_t seed) {
+  Rng rng(seed);
+  ZipfTable zipf(items, 1.05);
+  TransactionDatabase db;
+  for (size_t t = 0; t < transactions; ++t) {
+    Itemset txn;
+    size_t len = 1 + static_cast<size_t>(rng.Poisson(mean_len));
+    for (size_t i = 0; i < len; ++i) {
+      txn.push_back(static_cast<ItemId>(zipf.Sample(&rng)));
+    }
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+void BM_Apriori(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  MiningOptions options{.min_support = static_cast<size_t>(state.range(1)),
+                        .max_itemset_size = 6};
+  Apriori miner(options);
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = miner.Mine(db);
+    benchmark::DoNotOptimize(found = result->size());
+  }
+  state.counters["itemsets"] = static_cast<double>(found);
+}
+BENCHMARK(BM_Apriori)
+    ->Args({1000, 5})
+    ->Args({4000, 5})
+    ->Args({4000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FpGrowth(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  MiningOptions options{.min_support = static_cast<size_t>(state.range(1)),
+                        .max_itemset_size = 6};
+  FpGrowth miner(options);
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = miner.Mine(db);
+    benchmark::DoNotOptimize(found = result->size());
+  }
+  state.counters["itemsets"] = static_cast<double>(found);
+}
+BENCHMARK(BM_FpGrowth)
+    ->Args({1000, 5})
+    ->Args({4000, 5})
+    ->Args({4000, 20})
+    ->Args({16000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Eclat(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  MiningOptions options{.min_support = static_cast<size_t>(state.range(1)),
+                        .max_itemset_size = 6};
+  Eclat miner(options);
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = miner.Mine(db);
+    benchmark::DoNotOptimize(found = result->size());
+  }
+  state.counters["itemsets"] = static_cast<double>(found);
+}
+BENCHMARK(BM_Eclat)
+    ->Args({1000, 5})
+    ->Args({4000, 5})
+    ->Args({4000, 20})
+    ->Args({16000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosedFilter(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  MiningOptions options{.min_support = 5, .max_itemset_size = 6};
+  auto all = FpGrowth(options).Mine(db);
+  size_t closed_count = 0;
+  for (auto _ : state) {
+    FrequentItemsetResult closed = FilterClosed(*all);
+    benchmark::DoNotOptimize(closed_count = closed.size());
+  }
+  state.counters["frequent"] = static_cast<double>(all->size());
+  state.counters["closed"] = static_cast<double>(closed_count);
+}
+BENCHMARK(BM_ClosedFilter)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_MaximalFilter(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  MiningOptions options{.min_support = 5, .max_itemset_size = 6};
+  auto all = FpGrowth(options).Mine(db);
+  size_t maximal_count = 0;
+  for (auto _ : state) {
+    FrequentItemsetResult maximal = FilterMaximal(*all);
+    benchmark::DoNotOptimize(maximal_count = maximal.size());
+  }
+  state.counters["frequent"] = static_cast<double>(all->size());
+  state.counters["maximal"] = static_cast<double>(maximal_count);
+}
+BENCHMARK(BM_MaximalFilter)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_FpTreeBuild(benchmark::State& state) {
+  TransactionDatabase db =
+      MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  for (auto _ : state) {
+    auto tree = FpTree::Build(db, 5);
+    benchmark::DoNotOptimize(tree->node_count());
+  }
+}
+BENCHMARK(BM_FpTreeBuild)->Arg(1000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_TidListSupport(benchmark::State& state) {
+  TransactionDatabase db = MakeDb(20000, 400, 4.0, 7);
+  Rng rng(11);
+  std::vector<Itemset> queries;
+  for (int i = 0; i < 64; ++i) {
+    Itemset q;
+    for (size_t j = 0; j < static_cast<size_t>(state.range(0)); ++j) {
+      q.push_back(static_cast<ItemId>(rng.Uniform(60)));
+    }
+    queries.push_back(MakeItemset(std::move(q)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Support(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_TidListSupport)->Arg(2)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

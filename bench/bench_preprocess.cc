@@ -1,0 +1,103 @@
+// Micro-benchmarks for the text-cleaning substrate: name normalization,
+// bounded edit distance, dictionary resolution (exact/alias/fuzzy), and the
+// full per-quarter preprocessing pass.
+
+#include <benchmark/benchmark.h>
+
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+#include "faers/vocabulary.h"
+#include "text/dictionary.h"
+#include "text/edit_distance.h"
+#include "text/normalizer.h"
+
+namespace {
+
+using namespace maras;
+
+void BM_NormalizeName(benchmark::State& state) {
+  const std::string raw = "  Zoledronic-Acid 4MG/5ML  INJECTION (UNKNOWN) ";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::NormalizeName(raw));
+  }
+}
+BENCHMARK(BM_NormalizeName);
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  const std::string a = "GRANULOCYTE COLONY STIMULATING FACTOR";
+  const std::string b = "GRANULOCYTE COLONY STIMULATNG FACTOR";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::DamerauLevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  const std::string a = "METHYLPREDNISOLONE";
+  const std::string b = "CYCLOPHOSPHAMIDE";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::BoundedDamerauLevenshtein(a, b, 1));
+  }
+}
+BENCHMARK(BM_BoundedEditDistance);
+
+text::Dictionary FullDictionary() {
+  text::Dictionary dict;
+  for (const auto& name : faers::CuratedDrugNames()) {
+    dict.AddCanonical(name);
+  }
+  for (const auto& name : faers::SyntheticNames("DRUG", 3000)) {
+    dict.AddCanonical(name);
+  }
+  for (const auto& alias : faers::CuratedDrugAliases()) {
+    dict.AddAlias(alias.alias, alias.canonical);
+  }
+  return dict;
+}
+
+void BM_DictionaryExactHit(benchmark::State& state) {
+  text::Dictionary dict = FullDictionary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Resolve("METHOTREXATE", 1));
+  }
+}
+BENCHMARK(BM_DictionaryExactHit);
+
+void BM_DictionaryFuzzyHit(benchmark::State& state) {
+  text::Dictionary dict = FullDictionary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Resolve("METHOTREXTE", 1));
+  }
+}
+BENCHMARK(BM_DictionaryFuzzyHit);
+
+void BM_DictionaryMiss(benchmark::State& state) {
+  text::Dictionary dict = FullDictionary();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Resolve("COMPLETELY UNRELATED NAME", 1));
+  }
+}
+BENCHMARK(BM_DictionaryMiss);
+
+void BM_PreprocessQuarter(benchmark::State& state) {
+  faers::GeneratorConfig config;
+  config.n_reports = static_cast<size_t>(state.range(0));
+  config.n_drugs = 1000;
+  config.n_adrs = 400;
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  size_t kept = 0;
+  for (auto _ : state) {
+    auto result = preprocessor.Process(*dataset);
+    benchmark::DoNotOptimize(kept = result->stats.reports_kept);
+  }
+  state.counters["reports_kept"] = static_cast<double>(kept);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset->reports.size()));
+}
+BENCHMARK(BM_PreprocessQuarter)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

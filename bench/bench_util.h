@@ -1,0 +1,89 @@
+#ifndef MARAS_BENCH_BENCH_UTIL_H_
+#define MARAS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure regeneration harnesses. Every harness
+// honors MARAS_SCALE (a float multiplier on report counts, default 1.0 =
+// 25,000 background reports per quarter; 5.0 ≈ paper scale) and MARAS_SEED.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyzer.h"
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+#include "util/logging.h"
+
+namespace maras::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("MARAS_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline uint64_t SeedFromEnv() {
+  const char* env = std::getenv("MARAS_SEED");
+  if (env == nullptr) return 20140101;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+inline faers::GeneratorConfig QuarterConfig(int quarter, double scale) {
+  faers::GeneratorConfig config;
+  config.seed = SeedFromEnv();
+  config.year = 2014;
+  config.quarter = quarter;
+  config.n_reports = static_cast<size_t>(25000.0 * scale);
+  config.n_drugs = static_cast<size_t>(2500.0 * scale) + 500;
+  config.n_adrs = static_cast<size_t>(900.0 * scale) + 200;
+  return config;
+}
+
+// Generates and preprocesses one quarter; fatal on error (bench context).
+struct PreparedQuarter {
+  faers::QuarterDataset dataset;
+  faers::GroundTruth ground_truth;
+  faers::PreprocessResult pre;
+};
+
+inline PreparedQuarter PrepareQuarter(int quarter, double scale) {
+  faers::SyntheticGenerator generator(QuarterConfig(quarter, scale));
+  auto dataset = generator.Generate();
+  MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  auto pre = preprocessor.Process(*dataset);
+  MARAS_CHECK(pre.ok()) << pre.status().ToString();
+  return PreparedQuarter{*std::move(dataset), generator.ground_truth(),
+                         *std::move(pre)};
+}
+
+inline core::AnalyzerOptions DefaultAnalyzerOptions(double scale) {
+  core::AnalyzerOptions options;
+  // Low support, as the paper requires for rare drug combinations
+  // (Section 1.3); tracks scale so the mined family stays comparable.
+  // 6 at the default 25k-report scale: low enough to keep rare true
+  // combinations (~36 surviving reports each), high enough to suppress the
+  // 4-of-4 coincidence pairs a high-base-rate ADR produces.
+  size_t min_support = static_cast<size_t>(6.0 * scale);
+  options.mining.min_support = min_support < 6 ? 6 : min_support;
+  options.mining.max_itemset_size = 7;
+  return options;
+}
+
+inline void PrintRule(const char* prefix, const core::DrugAdrRule& rule,
+                      const mining::ItemDictionary& items, double score) {
+  std::printf("%s%-70s  supp=%-4zu conf=%.3f lift=%7.2f score=%.4f\n", prefix,
+              core::RuleToString(rule, items).c_str(), rule.support,
+              rule.confidence, rule.lift, score);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace maras::bench
+
+#endif  // MARAS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,117 @@
+// Walks through the paper's Section 5.4 case studies on a synthetic
+// quarter: for each literature-validated drug-drug interaction, print the
+// mined cluster, its contextual rules (why the combination — and not any
+// single drug — explains the ADR), its exclusiveness rank, and the
+// provenance note.
+//
+//   $ ./examples/case_studies [reports=25000] [seed=20140101]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/analyzer.h"
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+
+using namespace maras;
+
+int main(int argc, char** argv) {
+  faers::GeneratorConfig config;
+  config.quarter = 2;  // Case I was found in the 2014 Q2 data
+  config.n_reports = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
+                              : 25000;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20140101;
+
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  auto pre = preprocessor.Process(*dataset);
+  if (!pre.ok()) {
+    std::fprintf(stderr, "%s\n", pre.status().ToString().c_str());
+    return 1;
+  }
+  core::AnalyzerOptions options;
+  options.mining.min_support = 6;
+  options.mining.max_itemset_size = 7;
+  core::MarasAnalyzer analyzer(options);
+  auto analysis = analyzer.Analyze(*pre);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  auto ranked = core::RankMcacs(analysis->mcacs,
+                                core::RankingMethod::kExclusivenessConfidence,
+                                core::ExclusivenessOptions{});
+  std::printf("2014 Q%d: %zu reports, %zu ranked clusters\n\n",
+              config.quarter, pre->transactions.size(), ranked.size());
+
+  int missing = 0;
+  for (const auto& known : faers::KnownInteractions()) {
+    std::printf("=== %s ===\n", known.name.c_str());
+    std::printf("%s\n", known.provenance.c_str());
+
+    mining::Itemset drugs;
+    bool resolvable = true;
+    for (const auto& name : known.drugs) {
+      auto id = pre->items.Lookup(name);
+      if (!id.ok()) {
+        resolvable = false;
+        break;
+      }
+      drugs.push_back(*id);
+    }
+    std::set<mining::ItemId> adrs;
+    for (const auto& name : known.adrs) {
+      auto id = pre->items.Lookup(name);
+      if (id.ok()) adrs.insert(*id);
+    }
+    if (!resolvable || adrs.empty()) {
+      std::printf("  (vocabulary not present in this quarter)\n\n");
+      ++missing;
+      continue;
+    }
+    drugs = mining::MakeItemset(std::move(drugs));
+
+    const core::RankedMcac* hit = nullptr;
+    size_t rank = 0;
+    for (size_t i = 0; i < ranked.size() && hit == nullptr; ++i) {
+      const auto& target = ranked[i].mcac.target;
+      if (!mining::IsSubset(drugs, target.drugs)) continue;
+      for (auto id : target.adrs) {
+        if (adrs.count(id) > 0) {
+          hit = &ranked[i];
+          rank = i;
+          break;
+        }
+      }
+    }
+    if (hit == nullptr) {
+      std::printf("  NOT RECOVERED at this scale\n\n");
+      ++missing;
+      continue;
+    }
+    std::printf("  recovered at exclusiveness rank %zu/%zu\n", rank + 1,
+                ranked.size());
+    std::printf("  %s   (supp=%zu conf=%.3f lift=%.2f excl=%.4f)\n",
+                core::RuleToString(hit->mcac.target, pre->items).c_str(),
+                hit->mcac.target.support, hit->mcac.target.confidence,
+                hit->mcac.target.lift, hit->score);
+    std::printf("  why it is exclusive — each drug alone:\n");
+    for (const auto& rule : hit->mcac.levels[0]) {
+      std::printf("    %-40s conf=%.3f\n",
+                  pre->items.Render(rule.drugs).c_str(), rule.confidence);
+    }
+    std::printf("\n");
+  }
+  if (missing > 0) {
+    std::printf("%d interaction(s) not recovered — raise the report count "
+                "or lower min_support.\n",
+                missing);
+  }
+  return missing == 0 ? 0 : 1;
+}

@@ -1,0 +1,255 @@
+// The CLI counterpart of the MARAS visual interface (Section 4.1): load a
+// FAERS ASCII quarter (as written by generate_faers, or any extract in the
+// same layout), mine and rank the contextual clusters, then explore —
+// search by drug or ADR, inspect a cluster's full context, list supporting
+// reports, and export the cluster's contextual-glyph/bar-chart SVGs.
+//
+//   $ ./examples/interaction_explorer <faers-dir> <quarter> [command...]
+//
+// commands:
+//   top [k]            print the k top-ranked interactions (default 10)
+//   drug <NAME>        interactions involving the drug
+//   adr <NAME>         interactions associated with the reaction
+//   show <rank>        full MCAC context + supporting reports for a rank
+//   render <rank> <f>  write glyph SVG (and <f>.bar.svg bar chart)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/disproportionality.h"
+#include "core/explain.h"
+#include "core/knowledge_base.h"
+#include "core/severity.h"
+#include "faers/ascii_format.h"
+#include "faers/preprocess.h"
+#include "text/normalizer.h"
+#include "util/string_util.h"
+#include "viz/barchart.h"
+#include "viz/glyph.h"
+
+using namespace maras;
+
+namespace {
+
+struct Session {
+  faers::PreprocessResult pre;
+  std::vector<core::RankedMcac> ranked;
+};
+
+void PrintEntry(const Session& session, size_t rank) {
+  const auto& entry = session.ranked[rank];
+  std::printf("%4zu. %-64s supp=%zu conf=%.3f excl=%.4f\n", rank + 1,
+              core::RuleToString(entry.mcac.target, session.pre.items).c_str(),
+              entry.mcac.target.support, entry.mcac.target.confidence,
+              entry.score);
+}
+
+int CmdTop(const Session& session, size_t k) {
+  for (size_t i = 0; i < std::min(k, session.ranked.size()); ++i) {
+    PrintEntry(session, i);
+  }
+  return 0;
+}
+
+int CmdSearch(const Session& session, const std::string& raw, bool is_drug) {
+  std::string name = text::NormalizeName(raw);
+  auto id = session.pre.items.Lookup(name);
+  if (!id.ok()) {
+    std::printf("'%s' does not appear in this quarter\n", name.c_str());
+    return 1;
+  }
+  size_t shown = 0;
+  for (size_t i = 0; i < session.ranked.size(); ++i) {
+    const auto& target = session.ranked[i].mcac.target;
+    const auto& haystack = is_drug ? target.drugs : target.adrs;
+    if (mining::Contains(haystack, *id)) {
+      PrintEntry(session, i);
+      ++shown;
+    }
+  }
+  std::printf("%zu interactions involve [%s]\n", shown, name.c_str());
+  return 0;
+}
+
+int CmdShow(const Session& session, size_t rank) {
+  if (rank >= session.ranked.size()) {
+    std::fprintf(stderr, "rank out of range (have %zu)\n",
+                 session.ranked.size());
+    return 1;
+  }
+  const auto& entry = session.ranked[rank];
+  PrintEntry(session, rank);
+  std::printf("  context (X => same ADRs, X ⊂ combination):\n");
+  for (size_t level = 0; level < entry.mcac.levels.size(); ++level) {
+    for (const auto& rule : entry.mcac.levels[level]) {
+      std::printf("    [%zu drug%s] %-50s conf=%.3f lift=%.2f\n", level + 1,
+                  level == 0 ? " " : "s",
+                  session.pre.items.Render(rule.drugs).c_str(),
+                  rule.confidence, rule.lift);
+    }
+  }
+  // Score breakdown: why this cluster scored what it did.
+  core::ScoreExplanation explanation = core::ExplainExclusiveness(
+      entry.mcac, core::ExclusivenessOptions{});
+  std::printf("%s", core::RenderExplanation(explanation, entry.mcac,
+                                            session.pre.items)
+                        .c_str());
+  // Disproportionality panel (the classic surveillance statistics). Capped
+  // ratios mean a zero comparator cell, i.e. effectively infinite.
+  auto panel = core::EvaluateDisproportionality(session.pre.transactions,
+                                                entry.mcac.target);
+  auto ratio = [](double v) {
+    return v >= core::kDisproportionalityCap ? std::string("inf")
+                                             : maras::FormatDouble(v, 2);
+  };
+  std::printf("  disproportionality: PRR=%s ROR=%s chi2=%.1f IC=%.2f "
+              "(Evans signal: %s)\n",
+              ratio(panel.prr).c_str(), ratio(panel.ror).c_str(),
+              panel.chi_squared, panel.information_component,
+              panel.MeetsEvansCriteria() ? "yes" : "no");
+  // Severity and novelty triage.
+  core::Severity severity =
+      core::MaxSeverity(entry.mcac.target, session.pre.items);
+  core::KnowledgeBase kb = core::CuratedKnowledgeBase();
+  std::printf("  severity: %s   novelty: %s\n", core::SeverityName(severity),
+              core::NoveltyClassName(
+                  kb.Classify(entry.mcac.target, session.pre.items)));
+  for (const std::string& source :
+       kb.MatchingSources(entry.mcac.target, session.pre.items)) {
+    std::printf("    documented: %s\n", source.c_str());
+  }
+  auto reports = core::SupportingReports(session.pre.transactions,
+                                         session.pre.primary_ids,
+                                         entry.mcac.target);
+  std::printf("  supporting reports (%zu):", reports.size());
+  for (size_t i = 0; i < std::min<size_t>(12, reports.size()); ++i) {
+    std::printf(" %llu", static_cast<unsigned long long>(reports[i]));
+  }
+  if (reports.size() > 12) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}
+
+// Lists top clusters whose ADRs reach the given severity ("severe" view of
+// Section 4.1) or that the curated knowledge base does not already document
+// ("novel" view).
+int CmdSevere(const Session& session, size_t k) {
+  size_t shown = 0;
+  for (size_t i = 0; i < session.ranked.size() && shown < k; ++i) {
+    core::Severity severity = core::MaxSeverity(
+        session.ranked[i].mcac.target, session.pre.items);
+    if (static_cast<int>(severity) <
+        static_cast<int>(core::Severity::kSevere)) {
+      continue;
+    }
+    std::printf("[%-6s] ", core::SeverityName(severity));
+    PrintEntry(session, i);
+    ++shown;
+  }
+  return 0;
+}
+
+int CmdNovel(const Session& session, size_t k) {
+  core::KnowledgeBase kb = core::CuratedKnowledgeBase();
+  size_t shown = 0;
+  for (size_t i = 0; i < session.ranked.size() && shown < k; ++i) {
+    auto klass =
+        kb.Classify(session.ranked[i].mcac.target, session.pre.items);
+    if (klass == core::NoveltyClass::kKnownInteraction) continue;
+    std::printf("[%s] ", core::NoveltyClassName(klass));
+    PrintEntry(session, i);
+    ++shown;
+  }
+  return 0;
+}
+
+int CmdRender(const Session& session, size_t rank, const std::string& path) {
+  if (rank >= session.ranked.size()) {
+    std::fprintf(stderr, "rank out of range\n");
+    return 1;
+  }
+  viz::GlyphSpec spec =
+      viz::GlyphSpecFromMcac(session.ranked[rank].mcac, session.pre.items);
+  viz::ContextualGlyphRenderer glyph;
+  Status s = glyph.RenderZoom(spec).WriteFile(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  viz::BarChartRenderer bars;
+  Status s2 = bars.Render(spec).WriteFile(path + ".bar.svg");
+  std::printf("wrote %s and %s.bar.svg (%s)\n", path.c_str(), path.c_str(),
+              s2.ok() ? "ok" : s2.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <faers-dir> <quarter> [top k | drug NAME | "
+                 "adr NAME | show RANK | severe k | novel k | render RANK FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto dataset = faers::ReadAsciiQuarterFromDir(argv[1], 2014,
+                                                std::atoi(argv[2]));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  auto pre = preprocessor.Process(*dataset);
+  if (!pre.ok()) {
+    std::fprintf(stderr, "preprocess: %s\n", pre.status().ToString().c_str());
+    return 1;
+  }
+  core::AnalyzerOptions options;
+  options.mining.min_support = 6;
+  options.mining.max_itemset_size = 7;
+  core::MarasAnalyzer analyzer(options);
+  auto analysis = analyzer.Analyze(*pre);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analyze: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  Session session{*std::move(pre),
+                  core::RankMcacs(analysis->mcacs,
+                                  core::RankingMethod::kExclusivenessConfidence,
+                                  core::ExclusivenessOptions{})};
+  std::printf("%zu reports -> %zu ranked interactions\n",
+              session.pre.transactions.size(), session.ranked.size());
+
+  std::string command = argc > 3 ? argv[3] : "top";
+  if (command == "top") {
+    return CmdTop(session, argc > 4 ? static_cast<size_t>(std::atoll(argv[4]))
+                                    : 10);
+  }
+  if (command == "severe") {
+    return CmdSevere(session, argc > 4
+                                  ? static_cast<size_t>(std::atoll(argv[4]))
+                                  : 10);
+  }
+  if (command == "novel") {
+    return CmdNovel(session, argc > 4
+                                 ? static_cast<size_t>(std::atoll(argv[4]))
+                                 : 10);
+  }
+  if (command == "drug" && argc > 4) return CmdSearch(session, argv[4], true);
+  if (command == "adr" && argc > 4) return CmdSearch(session, argv[4], false);
+  if (command == "show" && argc > 4) {
+    return CmdShow(session, static_cast<size_t>(std::atoll(argv[4])) - 1);
+  }
+  if (command == "render" && argc > 5) {
+    return CmdRender(session, static_cast<size_t>(std::atoll(argv[4])) - 1,
+                     argv[5]);
+  }
+  std::fprintf(stderr, "unknown or incomplete command '%s'\n",
+               command.c_str());
+  return 2;
+}

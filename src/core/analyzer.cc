@@ -1,0 +1,91 @@
+#include "core/analyzer.h"
+
+#include "mining/closed_itemsets.h"
+#include "mining/fpgrowth.h"
+#include "mining/rules.h"
+
+namespace maras::core {
+
+namespace {
+
+// Counts drug/ADR items of `itemset` without materializing the split.
+void CountDomains(const mining::Itemset& itemset,
+                  const mining::ItemDictionary& items, size_t* drugs,
+                  size_t* adrs) {
+  *drugs = 0;
+  *adrs = 0;
+  for (mining::ItemId id : itemset) {
+    if (items.Domain(id) == mining::ItemDomain::kDrug) {
+      ++*drugs;
+    } else {
+      ++*adrs;
+    }
+  }
+}
+
+}  // namespace
+
+maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
+    const faers::PreprocessResult& input) const {
+  return Analyze(input.items, input.transactions);
+}
+
+maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
+    const mining::ItemDictionary& items,
+    const mining::TransactionDatabase& db) const {
+  if (db.empty()) {
+    return maras::Status::FailedPrecondition("empty transaction database");
+  }
+  AnalysisResult result;
+
+  // Phase 1: frequent itemsets (FP-Growth, Section 5.2).
+  mining::FpGrowth miner(options_.mining);
+  MARAS_ASSIGN_OR_RETURN(mining::FrequentItemsetResult frequent,
+                         miner.Mine(db));
+
+  // Phase 2: rule-space statistics. "Total rules" is the traditional
+  // unconstrained rule count; "filtered" keeps drugs ⇒ ADRs form.
+  result.stats.total_rules =
+      mining::CountAllPartitionRules(frequent, options_.min_confidence)
+          .total_rules;
+  for (const mining::FrequentItemset& fi : frequent.itemsets()) {
+    size_t drugs = 0, adrs = 0;
+    CountDomains(fi.items, items, &drugs, &adrs);
+    if (drugs >= 1 && adrs >= 1) ++result.stats.filtered_rules;
+  }
+
+  // Phase 3: closed itemsets -> supported drug-ADR associations
+  // (Lemma 3.4.2), multi-drug targets only.
+  mining::FrequentItemsetResult closed = mining::FilterClosed(frequent);
+  McacBuilder builder(&items, &db);
+  for (const mining::FrequentItemset& fi : closed.itemsets()) {
+    size_t drugs = 0, adrs = 0;
+    CountDomains(fi.items, items, &drugs, &adrs);
+    if (drugs >= 1 && adrs >= 1) ++result.stats.closed_mixed;
+    if (drugs < 2 || adrs < 1) continue;
+    if (drugs > options_.max_drugs_per_rule) continue;
+    if (options_.verify_closed_in_db &&
+        !mining::IsClosedInDatabase(db, fi.items)) {
+      continue;
+    }
+    MARAS_ASSIGN_OR_RETURN(DrugAdrRule target, BuildRule(fi.items, items, db));
+    if (target.confidence < options_.min_confidence) continue;
+    MARAS_ASSIGN_OR_RETURN(Mcac mcac, builder.Build(target));
+    result.mcacs.push_back(std::move(mcac));
+  }
+  result.stats.mcac_count = result.mcacs.size();
+  return result;
+}
+
+std::vector<uint64_t> SupportingReports(
+    const mining::TransactionDatabase& db,
+    const std::vector<uint64_t>& primary_ids, const DrugAdrRule& rule) {
+  std::vector<uint64_t> reports;
+  for (mining::TransactionId tid :
+       db.ContainingTransactions(rule.CompleteItemset())) {
+    if (tid < primary_ids.size()) reports.push_back(primary_ids[tid]);
+  }
+  return reports;
+}
+
+}  // namespace maras::core

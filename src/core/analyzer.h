@@ -1,0 +1,77 @@
+#ifndef MARAS_CORE_ANALYZER_H_
+#define MARAS_CORE_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/drug_adr_rule.h"
+#include "core/mcac.h"
+#include "core/ranking.h"
+#include "faers/preprocess.h"
+#include "mining/frequent_itemsets.h"
+#include "util/statusor.h"
+
+namespace maras::core {
+
+// End-to-end MARAS analysis options (mining + contextual ranking).
+struct AnalyzerOptions {
+  mining::MiningOptions mining{.min_support = 10, .max_itemset_size = 8};
+  // Minimum confidence a *target* rule must reach to form an MCAC.
+  double min_confidence = 0.0;
+  // Targets combining more drugs than this are skipped (context size is
+  // 2^n − 2; FAERS interactions of interest involve 2–4 drugs).
+  size_t max_drugs_per_rule = 5;
+  ExclusivenessOptions exclusiveness;
+  // Re-verify each candidate's closedness directly against the database.
+  // Required for exactness when mining.max_itemset_size truncates the
+  // itemset family (the in-family closedness filter cannot see equal-support
+  // supersets beyond the cap); costs one closure computation per candidate.
+  bool verify_closed_in_db = true;
+};
+
+// Rule-space statistics backing Fig. 5.1.
+struct RuleSpaceStats {
+  uint64_t total_rules = 0;      // traditional rules A ⇒ B, any partition
+  uint64_t filtered_rules = 0;   // drug ⇒ ADR associations (one per mixed itemset)
+  uint64_t closed_mixed = 0;     // ... with closed complete itemset
+  uint64_t mcac_count = 0;       // closed, multi-drug targets (the MCACs)
+};
+
+struct AnalysisResult {
+  RuleSpaceStats stats;
+  // All MCACs (unranked). Use RankMcacs or Analyzer helpers to order them.
+  std::vector<Mcac> mcacs;
+};
+
+// The MARAS pipeline facade (Fig. 1.1): mine closed drug-ADR associations
+// from preprocessed reports, build each multi-drug target's contextual
+// cluster, and rank by the chosen interestingness method.
+class MarasAnalyzer {
+ public:
+  explicit MarasAnalyzer(AnalyzerOptions options) : options_(options) {}
+
+  // Runs mining + MCAC construction on a preprocessed quarter.
+  maras::StatusOr<AnalysisResult> Analyze(
+      const faers::PreprocessResult& input) const;
+
+  // Lower-level entry point when transactions were built elsewhere.
+  maras::StatusOr<AnalysisResult> Analyze(
+      const mining::ItemDictionary& items,
+      const mining::TransactionDatabase& db) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+// Primary ids of the reports supporting `rule` — the paper's drill-down from
+// a pattern back to the raw reports (Section 4.1). `primary_ids[i]` must be
+// the id of transaction i (as produced by the preprocessor).
+std::vector<uint64_t> SupportingReports(
+    const mining::TransactionDatabase& db,
+    const std::vector<uint64_t>& primary_ids, const DrugAdrRule& rule);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_ANALYZER_H_

@@ -1,0 +1,70 @@
+#include "core/diversify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mining/itemset.h"
+
+namespace maras::core {
+
+namespace {
+
+double Jaccard(const mining::Itemset& a, const mining::Itemset& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = mining::Intersect(a, b).size();
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double ClusterSimilarity(const Mcac& a, const Mcac& b) {
+  double drug_sim = Jaccard(a.target.drugs, b.target.drugs);
+  double adr_sim = Jaccard(a.target.adrs, b.target.adrs);
+  return (2.0 * drug_sim + adr_sim) / 3.0;
+}
+
+std::vector<RankedMcac> DiversifiedTopK(const std::vector<RankedMcac>& ranked,
+                                        const DiversifyOptions& options) {
+  std::vector<RankedMcac> selected;
+  if (ranked.empty() || options.k == 0) return selected;
+
+  // Normalize scores to [0, 1] over the candidate pool so the λ trade-off
+  // is scale-free.
+  double lo = ranked.front().score, hi = ranked.front().score;
+  for (const RankedMcac& r : ranked) {
+    lo = std::min(lo, r.score);
+    hi = std::max(hi, r.score);
+  }
+  const double range = hi - lo;
+  auto norm = [&](double s) {
+    return range <= 0.0 ? 1.0 : (s - lo) / range;
+  };
+
+  std::vector<bool> used(ranked.size(), false);
+  const double lambda = std::clamp(options.lambda, 0.0, 1.0);
+  while (selected.size() < options.k) {
+    double best_value = -1e300;
+    size_t best_index = ranked.size();
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (used[i]) continue;
+      double max_sim = 0.0;
+      for (const RankedMcac& pick : selected) {
+        max_sim =
+            std::max(max_sim, ClusterSimilarity(ranked[i].mcac, pick.mcac));
+      }
+      double value = lambda * norm(ranked[i].score) - (1.0 - lambda) * max_sim;
+      if (value > best_value) {
+        best_value = value;
+        best_index = i;
+      }
+    }
+    if (best_index == ranked.size()) break;  // pool exhausted
+    used[best_index] = true;
+    selected.push_back(ranked[best_index]);
+  }
+  return selected;
+}
+
+}  // namespace maras::core

@@ -1,0 +1,41 @@
+#ifndef MARAS_CORE_DIVERSIFY_H_
+#define MARAS_CORE_DIVERSIFY_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// Diversified top-k selection. Closed-itemset filtering removes *redundant*
+// rules, but one strong interaction still yields several legitimate
+// clusters (ADR-subset variants, supersets with a bystander drug), and a
+// plain top-k panoramagram fills up with one drug family — the redundancy
+// the paper observes in Table 5.2's raw rankings. Maximal-marginal-
+// relevance selection balances score against similarity to the already
+// selected clusters, so the analyst's first screen covers distinct
+// combinations.
+// ---------------------------------------------------------------------------
+
+// Jaccard similarity of the two targets' item content, weighing the drug
+// overlap twice as heavily as the ADR overlap (combinations define the
+// family; ADR variants matter less).
+double ClusterSimilarity(const Mcac& a, const Mcac& b);
+
+struct DiversifyOptions {
+  size_t k = 10;
+  // Trade-off λ ∈ [0, 1]: 1 = pure score (plain top-k), 0 = pure diversity.
+  double lambda = 0.7;
+};
+
+// Selects k entries from `ranked` (assumed sorted by descending score) by
+// greedy MMR: the next pick maximizes
+//   λ·normalized_score − (1−λ)·max similarity to the picks so far.
+// Returns the picks in selection order.
+std::vector<RankedMcac> DiversifiedTopK(const std::vector<RankedMcac>& ranked,
+                                        const DiversifyOptions& options);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_DIVERSIFY_H_

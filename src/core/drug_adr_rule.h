@@ -1,0 +1,47 @@
+#ifndef MARAS_CORE_DRUG_ADR_RULE_H_
+#define MARAS_CORE_DRUG_ADR_RULE_H_
+
+#include <string>
+
+#include "mining/item_dictionary.h"
+#include "mining/itemset.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras::core {
+
+// A drug-ADR association (Section 3.1): antecedent ⊆ I_drug,
+// consequent ⊆ I_ade. For MARAS the rule of an itemset is its unique
+// domain partition: all drugs ⇒ all ADRs.
+struct DrugAdrRule {
+  mining::Itemset drugs;  // antecedent, sorted
+  mining::Itemset adrs;   // consequent, sorted
+  size_t support = 0;     // supp(drugs ∪ adrs), absolute count (Formula 2.1)
+  size_t antecedent_support = 0;
+  size_t consequent_support = 0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  mining::Itemset CompleteItemset() const {
+    return mining::Union(drugs, adrs);
+  }
+};
+
+// Splits `itemset` by item domain. Returns InvalidArgument when the itemset
+// lacks a drug or an ADR (no drug-ADR rule exists for it).
+maras::StatusOr<DrugAdrRule> SplitByDomain(
+    const mining::Itemset& itemset, const mining::ItemDictionary& items);
+
+// Builds the fully-measured rule for `itemset`: splits by domain and fills
+// supports/confidence/lift from exact database counts.
+maras::StatusOr<DrugAdrRule> BuildRule(const mining::Itemset& itemset,
+                                       const mining::ItemDictionary& items,
+                                       const mining::TransactionDatabase& db);
+
+// "[DRUG A] [DRUG B] => [ADR X] [ADR Y]" with names from the dictionary.
+std::string RuleToString(const DrugAdrRule& rule,
+                         const mining::ItemDictionary& items);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_DRUG_ADR_RULE_H_

@@ -1,0 +1,119 @@
+#include "core/exclusiveness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maras::core {
+
+namespace {
+
+double MeasureOf(const DrugAdrRule& rule, RuleMeasure measure) {
+  return measure == RuleMeasure::kConfidence ? rule.confidence : rule.lift;
+}
+
+std::vector<double> LevelValues(const std::vector<DrugAdrRule>& level,
+                                RuleMeasure measure) {
+  std::vector<double> values;
+  values.reserve(level.size());
+  for (const DrugAdrRule& rule : level) {
+    values.push_back(MeasureOf(rule, measure));
+  }
+  return values;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+// Clamped CoV penalty factor (1 − θ·Cv) ∈ [0, 1].
+double PenaltyFactor(const std::vector<double>& values, double theta) {
+  double factor = 1.0 - theta * CoefficientOfVariation(values);
+  return std::clamp(factor, 0.0, 1.0);
+}
+
+}  // namespace
+
+double CoefficientOfVariation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  if (mean == 0.0) return 0.0;
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  double stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return stddev / std::abs(mean);
+}
+
+double ExclusivenessSimple(const Mcac& mcac, RuleMeasure measure) {
+  std::vector<double> all;
+  for (const auto& level : mcac.levels) {
+    for (const DrugAdrRule& rule : level) {
+      all.push_back(MeasureOf(rule, measure));
+    }
+  }
+  return MeasureOf(mcac.target, measure) - Mean(all);
+}
+
+double ExclusivenessWithVariation(const Mcac& mcac, RuleMeasure measure,
+                                  double theta) {
+  std::vector<double> all;
+  for (const auto& level : mcac.levels) {
+    for (const DrugAdrRule& rule : level) {
+      all.push_back(MeasureOf(rule, measure));
+    }
+  }
+  return (MeasureOf(mcac.target, measure) - Mean(all)) *
+         PenaltyFactor(all, theta);
+}
+
+double ExclusivenessFromValues(
+    double target, const std::vector<std::vector<double>>& level_values,
+    const ExclusivenessOptions& options) {
+  const double n = static_cast<double>(level_values.size() + 1);
+  double sum = 0.0;
+  size_t populated_levels = 0;
+  for (size_t level_idx = 0; level_idx < level_values.size(); ++level_idx) {
+    const auto& values = level_values[level_idx];
+    if (values.empty()) continue;
+    ++populated_levels;
+    const double k = static_cast<double>(level_idx + 1);  // drugs per rule
+    double term = target - Mean(values);
+    if (options.use_decay) {
+      term *= 1.0 - (k - 1.0) / n;  // f_d(k), weight 1 at k = 1
+    }
+    term *= PenaltyFactor(values, options.theta);
+    sum += term;
+  }
+  if (populated_levels == 0) return 0.0;
+  return sum / static_cast<double>(populated_levels);
+}
+
+double Exclusiveness(const Mcac& mcac, const ExclusivenessOptions& options) {
+  std::vector<std::vector<double>> level_values;
+  level_values.reserve(mcac.levels.size());
+  for (const auto& level : mcac.levels) {
+    level_values.push_back(LevelValues(level, options.measure));
+  }
+  return ExclusivenessFromValues(MeasureOf(mcac.target, options.measure),
+                                 level_values, options);
+}
+
+double Improvement(const Mcac& mcac, RuleMeasure measure) {
+  double best_context = 0.0;
+  bool any = false;
+  for (const auto& level : mcac.levels) {
+    for (const DrugAdrRule& rule : level) {
+      double v = MeasureOf(rule, measure);
+      if (!any || v > best_context) {
+        best_context = v;
+        any = true;
+      }
+    }
+  }
+  double target = MeasureOf(mcac.target, measure);
+  return any ? target - best_context : target;
+}
+
+}  // namespace maras::core

@@ -1,0 +1,63 @@
+#ifndef MARAS_CORE_EXCLUSIVENESS_H_
+#define MARAS_CORE_EXCLUSIVENESS_H_
+
+#include <vector>
+
+#include "core/mcac.h"
+
+namespace maras::core {
+
+// Which rule measure feeds the exclusiveness contrast. The paper evaluates
+// both (Section 3.6 / Table 5.2).
+enum class RuleMeasure {
+  kConfidence,
+  kLift,
+};
+
+struct ExclusivenessOptions {
+  // θ ∈ [0, 1]: strength of the coefficient-of-variation penalty
+  // (Formula 3.4/3.5). 0 disables the penalty.
+  double theta = 0.5;
+  // Apply the linear cardinality decay f_d(k) = 1 − (k−1)/n (Formula 3.5).
+  // Off reduces the per-level score to the Formula 3.4 form; exposed as an
+  // ablation knob.
+  bool use_decay = true;
+  RuleMeasure measure = RuleMeasure::kConfidence;
+};
+
+// Formula 3.3: plain mean contrast p − mean(v) over the flattened context.
+double ExclusivenessSimple(const Mcac& mcac, RuleMeasure measure);
+
+// Formula 3.4: (p − mean(v)) · (1 − θ·Cv(v)) over the flattened context.
+// The penalty factor is clamped to [0, 1] so an extreme coefficient of
+// variation cannot flip the score's sign.
+double ExclusivenessWithVariation(const Mcac& mcac, RuleMeasure measure,
+                                  double theta);
+
+// Formula 3.5 (the MARAS score): per-cardinality-level contrast with linear
+// decay and per-level CoV penalty,
+//   (1/|V|) Σ_k (p − v̄_k) · f_d(k) · (1 − θ·Cv(v_k)),
+// where |V| is the number of context levels and f_d(k) = 1 − (k−1)/n.
+double Exclusiveness(const Mcac& mcac, const ExclusivenessOptions& options);
+
+// Formula 3.5 computed from raw measure values: `target` is the target
+// rule's value p, `level_values[k-1]` the context values with k drugs, and
+// the antecedent size n is level_values.size() + 1. This is the scoring
+// core; Exclusiveness(Mcac) extracts values and delegates here. It is also
+// what the user-study simulator scores *perceived* (noisy) values with.
+double ExclusivenessFromValues(
+    double target, const std::vector<std::vector<double>>& level_values,
+    const ExclusivenessOptions& options);
+
+// Bayardo's improvement (Formula 3.2): conf(A ⇒ B) − max over proper
+// sub-antecedent rules, the single-sub-rule baseline the paper contrasts
+// exclusiveness against. Negative improvement marks a dominated rule.
+double Improvement(const Mcac& mcac, RuleMeasure measure = RuleMeasure::kConfidence);
+
+// Coefficient of variation stddev/mean of `values` (population stddev);
+// 0 when fewer than 2 values or when the mean is 0.
+double CoefficientOfVariation(const std::vector<double>& values);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_EXCLUSIVENESS_H_

@@ -1,0 +1,93 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace maras::core {
+
+namespace {
+
+double MeasureOf(const DrugAdrRule& rule, RuleMeasure measure) {
+  return measure == RuleMeasure::kConfidence ? rule.confidence : rule.lift;
+}
+
+}  // namespace
+
+ScoreExplanation ExplainExclusiveness(const Mcac& mcac,
+                                      const ExclusivenessOptions& options) {
+  ScoreExplanation explanation;
+  explanation.target_value = MeasureOf(mcac.target, options.measure);
+  const double n = static_cast<double>(mcac.target.drugs.size());
+
+  // First pass: collect populated levels (the 1/|V| divisor needs the
+  // count before contributions are finalized).
+  std::vector<size_t> populated;
+  for (size_t level_idx = 0; level_idx < mcac.levels.size(); ++level_idx) {
+    if (!mcac.levels[level_idx].empty()) populated.push_back(level_idx);
+  }
+  if (populated.empty()) return explanation;
+  const double divisor = static_cast<double>(populated.size());
+
+  for (size_t level_idx : populated) {
+    const auto& level = mcac.levels[level_idx];
+    LevelContribution contribution;
+    contribution.drugs_per_rule = level_idx + 1;
+    contribution.rule_count = level.size();
+    std::vector<double> values;
+    values.reserve(level.size());
+    for (const DrugAdrRule& rule : level) {
+      double v = MeasureOf(rule, options.measure);
+      values.push_back(v);
+      explanation.strongest_context_value =
+          std::max(explanation.strongest_context_value, v);
+    }
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    contribution.mean_value = sum / static_cast<double>(values.size());
+    contribution.contrast =
+        explanation.target_value - contribution.mean_value;
+    const double k = static_cast<double>(contribution.drugs_per_rule);
+    contribution.decay_factor = options.use_decay ? 1.0 - (k - 1.0) / n : 1.0;
+    contribution.penalty_factor = std::clamp(
+        1.0 - options.theta * CoefficientOfVariation(values), 0.0, 1.0);
+    contribution.contribution = contribution.contrast *
+                                contribution.decay_factor *
+                                contribution.penalty_factor / divisor;
+    explanation.score += contribution.contribution;
+    explanation.levels.push_back(contribution);
+  }
+  return explanation;
+}
+
+std::string RenderExplanation(const ScoreExplanation& explanation,
+                              const Mcac& mcac,
+                              const mining::ItemDictionary& items) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "exclusiveness %.4f  (target %s = %.4f)\n",
+                explanation.score, "value", explanation.target_value);
+  out += line;
+  for (const LevelContribution& level : explanation.levels) {
+    std::snprintf(line, sizeof(line),
+                  "  level %zu (%zu rule%s): mean %.4f, contrast %+.4f x "
+                  "decay %.2f x penalty %.2f -> %+.4f\n",
+                  level.drugs_per_rule, level.rule_count,
+                  level.rule_count == 1 ? "" : "s", level.mean_value,
+                  level.contrast, level.decay_factor, level.penalty_factor,
+                  level.contribution);
+    out += line;
+    // Name the strongest rule of this level — the analyst's first suspect
+    // for a single-drug explanation.
+    const auto& rules = mcac.levels[level.drugs_per_rule - 1];
+    if (!rules.empty()) {
+      out += "    strongest: " + items.Render(rules.front().drugs) +
+             " (conf " + FormatDouble(rules.front().confidence, 3) + ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace maras::core

@@ -1,0 +1,52 @@
+#ifndef MARAS_CORE_EXPLAIN_H_
+#define MARAS_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/exclusiveness.h"
+#include "core/mcac.h"
+#include "mining/item_dictionary.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// Score explanation. An evaluator acting on a signal needs to see *why* it
+// scored what it did — which context level contributed, how much the
+// variation penalty and cardinality decay took away. This decomposes
+// Formula 3.5 term by term; the terms provably sum back to the score.
+// ---------------------------------------------------------------------------
+
+struct LevelContribution {
+  size_t drugs_per_rule = 0;   // k: context antecedent cardinality
+  size_t rule_count = 0;       // |v_k|
+  double mean_value = 0.0;     // v̄_k
+  double contrast = 0.0;       // p − v̄_k
+  double decay_factor = 1.0;   // f_d(k)
+  double penalty_factor = 1.0; // 1 − θ·Cv(v_k), clamped
+  // contrast · decay · penalty / |levels| — this level's share of the score.
+  double contribution = 0.0;
+};
+
+struct ScoreExplanation {
+  double target_value = 0.0;  // p
+  double score = 0.0;         // == Exclusiveness(mcac, options)
+  std::vector<LevelContribution> levels;  // populated levels only
+
+  // The single strongest context rule (the improvement baseline's view).
+  double strongest_context_value = 0.0;
+};
+
+// Decomposes the exclusiveness score of `mcac` under `options`.
+ScoreExplanation ExplainExclusiveness(const Mcac& mcac,
+                                      const ExclusivenessOptions& options);
+
+// Renders the explanation as analyst-readable indented text, resolving drug
+// names for the strongest rule per level.
+std::string RenderExplanation(const ScoreExplanation& explanation,
+                              const Mcac& mcac,
+                              const mining::ItemDictionary& items);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_EXPLAIN_H_

@@ -1,0 +1,96 @@
+#include "core/export.h"
+
+#include "core/severity.h"
+
+namespace maras::core {
+
+namespace {
+
+json::Value ItemNames(const mining::Itemset& items,
+                      const mining::ItemDictionary& dict) {
+  json::Value::Array names;
+  for (mining::ItemId id : items) {
+    names.push_back(json::Value(dict.Name(id)));
+  }
+  return json::Value(std::move(names));
+}
+
+json::Value RuleObject(const DrugAdrRule& rule,
+                       const mining::ItemDictionary& items,
+                       bool include_adrs) {
+  json::Value::Object object;
+  object["drugs"] = ItemNames(rule.drugs, items);
+  if (include_adrs) object["adrs"] = ItemNames(rule.adrs, items);
+  object["support"] = json::Value(rule.support);
+  object["confidence"] = json::Value(rule.confidence);
+  object["lift"] = json::Value(rule.lift);
+  return json::Value(std::move(object));
+}
+
+}  // namespace
+
+json::Value ExportRankedMcacs(const std::vector<RankedMcac>& ranked,
+                              const mining::ItemDictionary& items,
+                              const RuleSpaceStats& stats,
+                              const KnowledgeBase& knowledge_base,
+                              const ExportOptions& options) {
+  json::Value::Object stats_object;
+  stats_object["total_rules"] = json::Value(static_cast<double>(stats.total_rules));
+  stats_object["filtered_rules"] =
+      json::Value(static_cast<double>(stats.filtered_rules));
+  stats_object["closed_mixed"] =
+      json::Value(static_cast<double>(stats.closed_mixed));
+  stats_object["mcac_count"] =
+      json::Value(static_cast<double>(stats.mcac_count));
+
+  json::Value::Array clusters;
+  const size_t limit = options.max_clusters == 0
+                           ? ranked.size()
+                           : std::min(options.max_clusters, ranked.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const RankedMcac& entry = ranked[i];
+    json::Value::Object cluster;
+    cluster["rank"] = json::Value(i + 1);
+    cluster["score"] = json::Value(entry.score);
+    cluster["target"] = RuleObject(entry.mcac.target, items,
+                                   /*include_adrs=*/true);
+    if (options.include_severity) {
+      cluster["severity"] =
+          json::Value(SeverityName(MaxSeverity(entry.mcac.target, items)));
+    }
+    if (options.include_novelty) {
+      cluster["novelty"] = json::Value(NoveltyClassName(
+          knowledge_base.Classify(entry.mcac.target, items)));
+    }
+    if (options.include_context) {
+      json::Value::Array context;
+      for (const auto& level : entry.mcac.levels) {
+        for (const DrugAdrRule& rule : level) {
+          // The consequent equals the target's; omit it per rule.
+          context.push_back(RuleObject(rule, items, /*include_adrs=*/false));
+        }
+      }
+      cluster["context"] = json::Value(std::move(context));
+    }
+    clusters.push_back(json::Value(std::move(cluster)));
+  }
+
+  json::Value::Object document;
+  document["stats"] = json::Value(std::move(stats_object));
+  document["clusters"] = json::Value(std::move(clusters));
+  return json::Value(std::move(document));
+}
+
+std::string ExportAnalysisToJson(const AnalysisResult& analysis,
+                                 const mining::ItemDictionary& items,
+                                 RankingMethod method,
+                                 const ExclusivenessOptions& scoring,
+                                 const ExportOptions& options) {
+  std::vector<RankedMcac> ranked = RankMcacs(analysis.mcacs, method, scoring);
+  KnowledgeBase kb = CuratedKnowledgeBase();
+  json::Value document =
+      ExportRankedMcacs(ranked, items, analysis.stats, kb, options);
+  return json::Serialize(document, /*pretty=*/true);
+}
+
+}  // namespace maras::core

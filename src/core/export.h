@@ -1,0 +1,59 @@
+#ifndef MARAS_CORE_EXPORT_H_
+#define MARAS_CORE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/knowledge_base.h"
+#include "core/ranking.h"
+#include "util/json.h"
+
+namespace maras::core {
+
+// JSON export of analysis results — the hand-off format between the mining
+// backend and the MARAS visual front end (or any downstream tool). The
+// schema is stable and deterministic (sorted object keys, rank order
+// preserved in arrays):
+//
+// {
+//   "stats": {"total_rules": n, "filtered_rules": n, "mcac_count": n, ...},
+//   "clusters": [{
+//     "rank": 1,
+//     "score": 0.52,
+//     "target": {"drugs": [...], "adrs": [...], "support": n,
+//                "confidence": x, "lift": x},
+//     "severity": "severe",
+//     "novelty": "novel combination",
+//     "context": [{"drugs": [...], "support": n, "confidence": x,
+//                  "lift": x}, ...]   // level-major order
+//   }, ...]
+// }
+
+struct ExportOptions {
+  // Cap on exported clusters; 0 exports everything.
+  size_t max_clusters = 0;
+  // Annotate clusters with severity / knowledge-base novelty.
+  bool include_severity = true;
+  bool include_novelty = true;
+  // Include every contextual rule (can be large: 2^n − 2 per cluster).
+  bool include_context = true;
+};
+
+// Builds the JSON document for a ranked cluster list.
+json::Value ExportRankedMcacs(const std::vector<RankedMcac>& ranked,
+                              const mining::ItemDictionary& items,
+                              const RuleSpaceStats& stats,
+                              const KnowledgeBase& knowledge_base,
+                              const ExportOptions& options = {});
+
+// One-call convenience: rank `analysis` with `method` and serialize.
+std::string ExportAnalysisToJson(const AnalysisResult& analysis,
+                                 const mining::ItemDictionary& items,
+                                 RankingMethod method,
+                                 const ExclusivenessOptions& scoring,
+                                 const ExportOptions& options = {});
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_EXPORT_H_

@@ -1,0 +1,57 @@
+#include "core/mcac.h"
+
+#include <algorithm>
+
+#include "mining/measures.h"
+
+namespace maras::core {
+
+size_t Mcac::ContextSize() const {
+  size_t count = 0;
+  for (const auto& level : levels) count += level.size();
+  return count;
+}
+
+maras::StatusOr<Mcac> McacBuilder::Build(const DrugAdrRule& target) const {
+  if (target.drugs.size() < 2) {
+    return maras::Status::InvalidArgument(
+        "MCAC target must combine at least two drugs");
+  }
+  if (target.drugs.size() > 20) {
+    return maras::Status::InvalidArgument("target antecedent too large");
+  }
+  Mcac mcac;
+  mcac.target = target;
+  mcac.levels.resize(target.drugs.size() - 1);
+
+  const size_t consequent_support = db_->Support(target.adrs);
+  const size_t n = db_->size();
+  mining::ForEachProperSubset(
+      target.drugs, [&](const mining::Itemset& subset) {
+        DrugAdrRule context;
+        context.drugs = subset;
+        context.adrs = target.adrs;
+        context.antecedent_support = db_->Support(subset);
+        context.consequent_support = consequent_support;
+        context.support = db_->Support(mining::Union(subset, target.adrs));
+        context.confidence =
+            mining::Confidence(context.support, context.antecedent_support);
+        context.lift = mining::Lift(context.support,
+                                    context.antecedent_support,
+                                    context.consequent_support, n);
+        mcac.levels[subset.size() - 1].push_back(std::move(context));
+      });
+
+  for (auto& level : mcac.levels) {
+    std::sort(level.begin(), level.end(),
+              [](const DrugAdrRule& a, const DrugAdrRule& b) {
+                if (a.confidence != b.confidence) {
+                  return a.confidence > b.confidence;
+                }
+                return a.drugs < b.drugs;  // deterministic tie-break
+              });
+  }
+  return mcac;
+}
+
+}  // namespace maras::core

@@ -1,0 +1,48 @@
+#ifndef MARAS_CORE_MCAC_H_
+#define MARAS_CORE_MCAC_H_
+
+#include <vector>
+
+#include "core/drug_adr_rule.h"
+#include "mining/item_dictionary.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras::core {
+
+// Multi-level Contextual Association Cluster (Section 3.5): a target
+// drug-ADR rule R ≡ A ⇒ B together with its complete context — every rule
+// X ⇒ B with X a proper non-empty subset of A (Def 3.5.1/3.5.2) — grouped
+// by antecedent cardinality, exactly like the paper's Table 3.1.
+struct Mcac {
+  DrugAdrRule target;
+  // levels[k-1] holds the contextual rules with k drugs, for
+  // k = 1 .. |target.drugs| − 1, each level sorted by descending
+  // confidence (the glyph's within-level order).
+  std::vector<std::vector<DrugAdrRule>> levels;
+
+  // Number of contextual rules across all levels: 2^n − 2.
+  size_t ContextSize() const;
+};
+
+// Builds MCACs from target rules with exact context supports counted from
+// the transaction database (contextual subsets routinely fall below the
+// mining support threshold, so their supports cannot come from the mined
+// result).
+class McacBuilder {
+ public:
+  McacBuilder(const mining::ItemDictionary* items,
+              const mining::TransactionDatabase* db)
+      : items_(items), db_(db) {}
+
+  // The target must have >= 2 drugs and <= 20 (subset enumeration bound).
+  maras::StatusOr<Mcac> Build(const DrugAdrRule& target) const;
+
+ private:
+  const mining::ItemDictionary* items_;
+  const mining::TransactionDatabase* db_;
+};
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_MCAC_H_

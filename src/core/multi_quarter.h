@@ -1,0 +1,57 @@
+#ifndef MARAS_CORE_MULTI_QUARTER_H_
+#define MARAS_CORE_MULTI_QUARTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/drug_adr_rule.h"
+#include "faers/preprocess.h"
+#include "util/statusor.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// Multi-quarter surveillance. FAERS publishes quarterly; a signal analyst
+// watches how an interaction's evidence accumulates across extracts. Each
+// preprocessed quarter has its own interned vocabulary, so pooling requires
+// re-interning by name; trends are computed per quarter on the original
+// databases.
+// ---------------------------------------------------------------------------
+
+// Pools several preprocessed quarters into one corpus with a fresh shared
+// vocabulary. Transactions keep their original order (quarters
+// concatenated); primary ids carry over so report drill-down still works.
+// Fails if the same name is a drug in one quarter and an ADR in another.
+maras::StatusOr<faers::PreprocessResult> MergeQuarters(
+    const std::vector<const faers::PreprocessResult*>& quarters);
+
+// Per-quarter evidence for one drug combination => ADRs association,
+// resolved by *name* so it spans vocabularies.
+struct QuarterlySignalTrend {
+  std::string label;            // e.g. "2014Q1"
+  size_t reports = 0;           // supp(drugs ∪ adrs) in that quarter
+  size_t combination_reports = 0;  // supp(drugs)
+  double confidence = 0.0;
+};
+
+// Tracks a (drugs, adrs) association across quarters. Names must be in the
+// cleaned canonical form; a quarter where some name is absent contributes a
+// zero row rather than an error (new drugs enter the market mid-year).
+std::vector<QuarterlySignalTrend> TrackSignal(
+    const std::vector<const faers::PreprocessResult*>& quarters,
+    const std::vector<std::string>& quarter_labels,
+    const std::vector<std::string>& drug_names,
+    const std::vector<std::string>& adr_names);
+
+// Simple trend verdict over the per-quarter confidences: "emerging" when
+// the last quarter's confidence exceeds the first's by `margin`, "fading"
+// for the reverse, "stable" otherwise; quarters with no combination
+// reports are skipped.
+enum class TrendVerdict { kEmerging, kStable, kFading, kInsufficient };
+const char* TrendVerdictName(TrendVerdict verdict);
+TrendVerdict ClassifyTrend(const std::vector<QuarterlySignalTrend>& trend,
+                           double margin = 0.1);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_MULTI_QUARTER_H_

@@ -1,0 +1,68 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+namespace maras::core {
+
+const char* RankingMethodName(RankingMethod method) {
+  switch (method) {
+    case RankingMethod::kConfidence:
+      return "confidence";
+    case RankingMethod::kLift:
+      return "lift";
+    case RankingMethod::kExclusivenessConfidence:
+      return "exclusiveness+confidence";
+    case RankingMethod::kExclusivenessLift:
+      return "exclusiveness+lift";
+    case RankingMethod::kImprovement:
+      return "improvement";
+  }
+  return "?";
+}
+
+double ScoreMcac(const Mcac& mcac, RankingMethod method,
+                 const ExclusivenessOptions& options) {
+  switch (method) {
+    case RankingMethod::kConfidence:
+      return mcac.target.confidence;
+    case RankingMethod::kLift:
+      return mcac.target.lift;
+    case RankingMethod::kExclusivenessConfidence: {
+      ExclusivenessOptions opts = options;
+      opts.measure = RuleMeasure::kConfidence;
+      return Exclusiveness(mcac, opts);
+    }
+    case RankingMethod::kExclusivenessLift: {
+      ExclusivenessOptions opts = options;
+      opts.measure = RuleMeasure::kLift;
+      return Exclusiveness(mcac, opts);
+    }
+    case RankingMethod::kImprovement:
+      return Improvement(mcac);
+  }
+  return 0.0;
+}
+
+std::vector<RankedMcac> RankMcacs(const std::vector<Mcac>& mcacs,
+                                  RankingMethod method,
+                                  const ExclusivenessOptions& options) {
+  std::vector<RankedMcac> ranked;
+  ranked.reserve(mcacs.size());
+  for (const Mcac& mcac : mcacs) {
+    ranked.push_back(RankedMcac{mcac, ScoreMcac(mcac, method, options)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedMcac& a, const RankedMcac& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.mcac.target.support != b.mcac.target.support) {
+                return a.mcac.target.support > b.mcac.target.support;
+              }
+              if (a.mcac.target.drugs != b.mcac.target.drugs) {
+                return a.mcac.target.drugs < b.mcac.target.drugs;
+              }
+              return a.mcac.target.adrs < b.mcac.target.adrs;
+            });
+  return ranked;
+}
+
+}  // namespace maras::core

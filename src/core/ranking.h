@@ -1,0 +1,42 @@
+#ifndef MARAS_CORE_RANKING_H_
+#define MARAS_CORE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/exclusiveness.h"
+#include "core/mcac.h"
+
+namespace maras::core {
+
+// The four ranking strategies of Table 5.2 plus the improvement baseline.
+enum class RankingMethod {
+  kConfidence,
+  kLift,
+  kExclusivenessConfidence,
+  kExclusivenessLift,
+  kImprovement,
+};
+
+const char* RankingMethodName(RankingMethod method);
+
+// An MCAC with its score under some ranking method.
+struct RankedMcac {
+  Mcac mcac;
+  double score = 0.0;
+};
+
+// Scores one MCAC under `method` (θ/decay apply to the exclusiveness
+// methods only; `options.measure` is overridden by the method).
+double ScoreMcac(const Mcac& mcac, RankingMethod method,
+                 const ExclusivenessOptions& options);
+
+// Scores and sorts descending; ties break by higher target support, then by
+// the target rule's item ids, so rankings are fully deterministic.
+std::vector<RankedMcac> RankMcacs(const std::vector<Mcac>& mcacs,
+                                  RankingMethod method,
+                                  const ExclusivenessOptions& options);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_RANKING_H_

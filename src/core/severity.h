@@ -1,0 +1,61 @@
+#ifndef MARAS_CORE_SEVERITY_H_
+#define MARAS_CORE_SEVERITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/mcac.h"
+#include "core/ranking.h"
+#include "mining/item_dictionary.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// ADR severity classification. The MARAS interface lets the drug-safety
+// evaluator "select drug interactions based on some defined criteria of
+// interestingness such as drug interactions that may lead to severe ADRs
+// which might need immediate action" (Section 4.1). This module provides
+// that criterion: a curated severity lexicon over MedDRA-style preferred
+// terms, plus filters and a severity-boosted ranking.
+// ---------------------------------------------------------------------------
+
+enum class Severity : int {
+  kMild = 0,      // discomfort, no intervention required
+  kModerate = 1,  // intervention or treatment change required
+  kSevere = 2,    // hospitalization, disability, life-threatening
+  kFatal = 3,     // death or directly life-ending events
+};
+
+const char* SeverityName(Severity severity);
+
+// Severity of a single (normalized, uppercase) preferred term. Terms not in
+// the lexicon default to kModerate — unknown reactions in surveillance are
+// triaged, not ignored.
+Severity SeverityOfTerm(std::string_view preferred_term);
+
+// The highest severity among a rule's consequent ADRs.
+Severity MaxSeverity(const DrugAdrRule& rule,
+                     const mining::ItemDictionary& items);
+
+// Keeps only clusters whose target reaches `minimum` severity — the
+// "severe interactions needing immediate action" view.
+std::vector<Mcac> FilterBySeverity(const std::vector<Mcac>& mcacs,
+                                   const mining::ItemDictionary& items,
+                                   Severity minimum);
+
+// Severity-boosted interestingness: the exclusiveness score scaled by a
+// severity weight (1.0 / 1.25 / 1.6 / 2.0 for mild..fatal), so equally
+// exclusive clusters triage by clinical stake.
+double SeverityWeight(Severity severity);
+double SeverityBoostedScore(const Mcac& mcac,
+                            const mining::ItemDictionary& items,
+                            const ExclusivenessOptions& options);
+
+// Ranks with the severity-boosted score (same tie-breaking as RankMcacs).
+std::vector<RankedMcac> RankBySeverityBoostedScore(
+    const std::vector<Mcac>& mcacs, const mining::ItemDictionary& items,
+    const ExclusivenessOptions& options);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_SEVERITY_H_

@@ -1,0 +1,80 @@
+#ifndef MARAS_CORE_STRATIFIED_H_
+#define MARAS_CORE_STRATIFIED_H_
+
+#include <string>
+#include <vector>
+
+#include "core/disproportionality.h"
+#include "core/drug_adr_rule.h"
+#include "faers/preprocess.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// Stratified signal analysis. Spontaneous-report associations are routinely
+// confounded by demographics (an ADR common in the elderly co-occurs with
+// every drug the elderly take). Standard practice — and the natural next
+// step after the paper's drill-down by "patient's age, health history etc."
+// (Section 4.1) — is to stratify the 2×2 tables by sex and age band and
+// pool with the Mantel–Haenszel estimator, which measures the association
+// *within* strata.
+// ---------------------------------------------------------------------------
+
+// Coarse age bands used by FAERS-style analyses.
+enum class AgeBand : int {
+  kUnknown = 0,
+  kChild = 1,    // < 18
+  kAdult = 2,    // 18–64
+  kElderly = 3,  // >= 65
+};
+
+AgeBand AgeBandOf(double age_years);
+const char* AgeBandName(AgeBand band);
+
+// One demographic stratum and its 2×2 table for some rule.
+struct StratumTable {
+  faers::Sex sex = faers::Sex::kUnknown;
+  AgeBand age_band = AgeBand::kUnknown;
+  ContingencyTable table;
+
+  std::string Label() const;
+};
+
+class StratifiedAnalyzer {
+ public:
+  // `db` and `demographics` must stay alive and aligned (transaction i ↔
+  // demographics[i]; missing entries fall into the unknown stratum).
+  StratifiedAnalyzer(const mining::TransactionDatabase* db,
+                     const std::vector<faers::CaseDemographics>* demographics);
+
+  // The per-stratum 2×2 tables of `rule` (only strata with at least one
+  // report are returned, ordered by sex then age band).
+  std::vector<StratumTable> Tables(const DrugAdrRule& rule) const;
+
+  // Crude (unstratified) reporting odds ratio, for contrast.
+  double CrudeRor(const DrugAdrRule& rule) const;
+
+  // Mantel–Haenszel pooled odds ratio:
+  //   OR_MH = Σ_i (a_i·d_i / n_i) / Σ_i (b_i·c_i / n_i).
+  // Strata with n_i == 0 are skipped; a zero denominator with a positive
+  // numerator is capped at kDisproportionalityCap; 0/0 yields 0.
+  double MantelHaenszelRor(const DrugAdrRule& rule) const;
+
+  // Confounding diagnostic: |log(crude) − log(MH)| > log(threshold) — the
+  // usual "ratios differ by more than ~20%" rule (threshold 1.2).
+  bool IsConfounded(const DrugAdrRule& rule, double threshold = 1.2) const;
+
+ private:
+  // Dense stratum index: sex (3) × age band (4).
+  static constexpr size_t kStrata = 12;
+  static size_t StratumIndex(faers::Sex sex, AgeBand band);
+
+  const mining::TransactionDatabase* db_;
+  const std::vector<faers::CaseDemographics>* demographics_;
+  // Sorted transaction ids per stratum, built once.
+  std::vector<std::vector<mining::TransactionId>> stratum_tids_;
+};
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_STRATIFIED_H_

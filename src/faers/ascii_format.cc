@@ -1,0 +1,177 @@
+#include "faers/ascii_format.h"
+
+#include <cstdio>
+#include <map>
+
+#include "util/delimited.h"
+#include "util/string_util.h"
+
+namespace maras::faers {
+
+namespace {
+
+constexpr char kDelim = '$';
+
+std::string FileSuffix(int year, int quarter) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02dQ%d", year % 100, quarter);
+  return buf;
+}
+
+std::string FormatAge(double age) {
+  if (age < 0) return "";
+  return maras::FormatDouble(age, 0);
+}
+
+}  // namespace
+
+maras::StatusOr<AsciiQuarterFiles> WriteAsciiQuarter(
+    const QuarterDataset& dataset) {
+  maras::DelimitedTable demo;
+  demo.header = {"primaryid", "caseid",      "caseversion", "rept_cod",
+                 "age",       "sex",         "occr_country"};
+  maras::DelimitedTable drug;
+  drug.header = {"primaryid", "caseid", "drug_seq", "role_cod", "drugname"};
+  maras::DelimitedTable reac;
+  reac.header = {"primaryid", "caseid", "pt"};
+
+  for (const Report& r : dataset.reports) {
+    std::string primary = std::to_string(r.primary_id());
+    std::string caseid = std::to_string(r.case_id);
+    demo.rows.push_back({primary, caseid, std::to_string(r.case_version),
+                         ReportTypeCode(r.type), FormatAge(r.age),
+                         SexCode(r.sex), r.country});
+    int seq = 1;
+    for (const std::string& name : r.drugs) {
+      // role_cod: PS (primary suspect) for the first drug, SS thereafter —
+      // matching FAERS conventions; MARAS treats all roles equally.
+      drug.rows.push_back({primary, caseid, std::to_string(seq),
+                           seq == 1 ? "PS" : "SS", name});
+      ++seq;
+    }
+    for (const std::string& pt : r.reactions) {
+      reac.rows.push_back({primary, caseid, pt});
+    }
+  }
+
+  maras::DelimitedWriter writer(kDelim);
+  AsciiQuarterFiles files;
+  MARAS_ASSIGN_OR_RETURN(files.demo, writer.ToString(demo));
+  MARAS_ASSIGN_OR_RETURN(files.drug, writer.ToString(drug));
+  MARAS_ASSIGN_OR_RETURN(files.reac, writer.ToString(reac));
+  return files;
+}
+
+maras::Status WriteAsciiQuarterToDir(const QuarterDataset& dataset,
+                                     const std::string& directory) {
+  MARAS_ASSIGN_OR_RETURN(AsciiQuarterFiles files, WriteAsciiQuarter(dataset));
+  std::string suffix = FileSuffix(dataset.year, dataset.quarter);
+  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
+      directory + "/DEMO" + suffix + ".txt", files.demo));
+  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
+      directory + "/DRUG" + suffix + ".txt", files.drug));
+  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
+      directory + "/REAC" + suffix + ".txt", files.reac));
+  return maras::Status::OK();
+}
+
+maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
+    const AsciiQuarterFiles& files, int year, int quarter) {
+  maras::DelimitedReader reader(kDelim);
+  MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable demo,
+                         reader.ParseString(files.demo));
+  MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable drug,
+                         reader.ParseString(files.drug));
+  MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable reac,
+                         reader.ParseString(files.reac));
+
+  int d_primary = demo.ColumnIndex("primaryid");
+  int d_caseid = demo.ColumnIndex("caseid");
+  int d_version = demo.ColumnIndex("caseversion");
+  int d_rept = demo.ColumnIndex("rept_cod");
+  int d_age = demo.ColumnIndex("age");
+  int d_sex = demo.ColumnIndex("sex");
+  int d_country = demo.ColumnIndex("occr_country");
+  if (d_primary < 0 || d_caseid < 0 || d_version < 0 || d_rept < 0) {
+    return maras::Status::Corruption("DEMO table missing required columns");
+  }
+
+  QuarterDataset dataset;
+  dataset.year = year;
+  dataset.quarter = quarter;
+  // primaryid -> index into dataset.reports, ordered by first appearance.
+  std::map<uint64_t, size_t> by_primary;
+  for (const auto& row : demo.rows) {
+    Report r;
+    char* end = nullptr;
+    r.case_id = std::strtoull(row[d_caseid].c_str(), &end, 10);
+    r.case_version =
+        static_cast<uint32_t>(std::strtoul(row[d_version].c_str(), &end, 10));
+    if (!ParseReportType(row[d_rept], &r.type)) {
+      return maras::Status::Corruption("bad rept_cod: " + row[d_rept]);
+    }
+    if (d_age >= 0 && !row[d_age].empty()) {
+      r.age = std::strtod(row[d_age].c_str(), &end);
+    }
+    if (d_sex >= 0 && !ParseSex(row[d_sex], &r.sex)) {
+      return maras::Status::Corruption("bad sex code: " + row[d_sex]);
+    }
+    if (d_country >= 0) r.country = row[d_country];
+    uint64_t primary = std::strtoull(row[d_primary].c_str(), &end, 10);
+    if (by_primary.count(primary) > 0) {
+      return maras::Status::Corruption("duplicate primaryid " +
+                                       row[d_primary]);
+    }
+    by_primary[primary] = dataset.reports.size();
+    dataset.reports.push_back(std::move(r));
+  }
+
+  int g_primary = drug.ColumnIndex("primaryid");
+  int g_name = drug.ColumnIndex("drugname");
+  if (g_primary < 0 || g_name < 0) {
+    return maras::Status::Corruption("DRUG table missing required columns");
+  }
+  for (const auto& row : drug.rows) {
+    uint64_t primary = std::strtoull(row[g_primary].c_str(), nullptr, 10);
+    auto it = by_primary.find(primary);
+    if (it == by_primary.end()) {
+      return maras::Status::Corruption("DRUG row with unknown primaryid " +
+                                       row[g_primary]);
+    }
+    dataset.reports[it->second].drugs.push_back(row[g_name]);
+  }
+
+  int r_primary = reac.ColumnIndex("primaryid");
+  int r_pt = reac.ColumnIndex("pt");
+  if (r_primary < 0 || r_pt < 0) {
+    return maras::Status::Corruption("REAC table missing required columns");
+  }
+  for (const auto& row : reac.rows) {
+    uint64_t primary = std::strtoull(row[r_primary].c_str(), nullptr, 10);
+    auto it = by_primary.find(primary);
+    if (it == by_primary.end()) {
+      return maras::Status::Corruption("REAC row with unknown primaryid " +
+                                       row[r_primary]);
+    }
+    dataset.reports[it->second].reactions.push_back(row[r_pt]);
+  }
+  return dataset;
+}
+
+maras::StatusOr<QuarterDataset> ReadAsciiQuarterFromDir(
+    const std::string& directory, int year, int quarter) {
+  std::string suffix = FileSuffix(year, quarter);
+  AsciiQuarterFiles files;
+  MARAS_ASSIGN_OR_RETURN(
+      files.demo,
+      maras::ReadFileToString(directory + "/DEMO" + suffix + ".txt"));
+  MARAS_ASSIGN_OR_RETURN(
+      files.drug,
+      maras::ReadFileToString(directory + "/DRUG" + suffix + ".txt"));
+  MARAS_ASSIGN_OR_RETURN(
+      files.reac,
+      maras::ReadFileToString(directory + "/REAC" + suffix + ".txt"));
+  return ReadAsciiQuarter(files, year, quarter);
+}
+
+}  // namespace maras::faers

@@ -1,0 +1,100 @@
+#include "faers/dedup.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace maras::faers {
+
+namespace {
+
+// Age band boundaries match core/stratified.h (kept dependency-free here).
+int AgeBand(double age) {
+  if (age < 0) return 0;
+  if (age < 18) return 1;
+  if (age < 65) return 2;
+  return 3;
+}
+
+// Canonical fingerprint of the clinical content of a report.
+std::string Fingerprint(const Report& report) {
+  std::vector<std::string> drugs = report.drugs;
+  std::vector<std::string> reactions = report.reactions;
+  std::sort(drugs.begin(), drugs.end());
+  drugs.erase(std::unique(drugs.begin(), drugs.end()), drugs.end());
+  std::sort(reactions.begin(), reactions.end());
+  reactions.erase(std::unique(reactions.begin(), reactions.end()),
+                  reactions.end());
+  std::string key;
+  for (const std::string& d : drugs) {
+    key += d;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (const std::string& r : reactions) {
+    key += r;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  key += SexCode(report.sex);
+  key += static_cast<char>('0' + AgeBand(report.age));
+  return key;
+}
+
+}  // namespace
+
+std::vector<DuplicateCluster> FindDuplicateCases(const QuarterDataset& dataset,
+                                                 DedupStats* stats) {
+  DedupStats local;
+  local.reports_checked = dataset.reports.size();
+  // Fingerprint -> indices of matching reports, insertion-ordered.
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  std::vector<std::string> ordered_keys;
+  for (size_t i = 0; i < dataset.reports.size(); ++i) {
+    const Report& report = dataset.reports[i];
+    if (report.drugs.empty() || report.reactions.empty()) continue;
+    std::string key = Fingerprint(report);
+    auto [it, inserted] = buckets.emplace(key, std::vector<size_t>{});
+    if (inserted) ordered_keys.push_back(key);
+    it->second.push_back(i);
+  }
+  std::vector<DuplicateCluster> clusters;
+  for (const std::string& key : ordered_keys) {
+    const std::vector<size_t>& indices = buckets[key];
+    // Distinct case ids required: versioned resubmissions are handled by
+    // the preprocessor, not flagged here.
+    std::unordered_set<uint64_t> cases;
+    for (size_t i : indices) cases.insert(dataset.reports[i].case_id);
+    if (cases.size() < 2) continue;
+    DuplicateCluster cluster;
+    for (size_t i : indices) {
+      cluster.primary_ids.push_back(dataset.reports[i].primary_id());
+    }
+    local.redundant_reports += cluster.primary_ids.size() - 1;
+    clusters.push_back(std::move(cluster));
+  }
+  local.clusters = clusters.size();
+  if (stats != nullptr) *stats = local;
+  return clusters;
+}
+
+QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
+                                    DedupStats* stats) {
+  std::vector<DuplicateCluster> clusters = FindDuplicateCases(dataset, stats);
+  std::unordered_set<uint64_t> drop;
+  for (const DuplicateCluster& cluster : clusters) {
+    for (size_t i = 1; i < cluster.primary_ids.size(); ++i) {
+      drop.insert(cluster.primary_ids[i]);
+    }
+  }
+  QuarterDataset kept;
+  kept.year = dataset.year;
+  kept.quarter = dataset.quarter;
+  for (const Report& report : dataset.reports) {
+    if (drop.count(report.primary_id()) == 0) kept.reports.push_back(report);
+  }
+  return kept;
+}
+
+}  // namespace maras::faers

@@ -1,0 +1,46 @@
+#ifndef MARAS_FAERS_DEDUP_H_
+#define MARAS_FAERS_DEDUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "faers/report.h"
+
+namespace maras::faers {
+
+// ---------------------------------------------------------------------------
+// Near-duplicate case detection. Beyond explicit case versions, FAERS
+// contains the *same clinical event reported independently* — by the
+// patient, the physician, and the manufacturer — under different case ids.
+// Duplicates inflate supports and fabricate signal strength, so surveillance
+// pipelines flag them before mining. Heuristic here: two reports are
+// suspected duplicates when their full drug set, full reaction set, sex and
+// age band coincide but their case ids differ (the standard fingerprint
+// match used in deduplication literature).
+// ---------------------------------------------------------------------------
+
+struct DuplicateCluster {
+  // Primary ids of the mutually-matching reports, in dataset order; always
+  // at least two entries.
+  std::vector<uint64_t> primary_ids;
+};
+
+struct DedupStats {
+  size_t reports_checked = 0;
+  size_t clusters = 0;
+  size_t redundant_reports = 0;  // Σ (cluster size − 1)
+};
+
+// Finds suspected duplicate clusters. Reports with no drugs or no reactions
+// never match (their fingerprints are too weak to be evidence).
+std::vector<DuplicateCluster> FindDuplicateCases(const QuarterDataset& dataset,
+                                                 DedupStats* stats = nullptr);
+
+// Returns a copy of `dataset` with redundant duplicates removed: from each
+// cluster only the first report (dataset order) survives.
+QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
+                                    DedupStats* stats = nullptr);
+
+}  // namespace maras::faers
+
+#endif  // MARAS_FAERS_DEDUP_H_

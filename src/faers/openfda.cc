@@ -1,0 +1,143 @@
+#include "faers/openfda.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/json.h"
+
+namespace maras::faers {
+
+namespace {
+
+// openFDA represents nearly everything as strings; fetch one leniently.
+std::string StringField(const json::Value& object, std::string_view key) {
+  const json::Value* field = object.Find(key);
+  if (field == nullptr) return "";
+  if (field->is_string()) return field->as_string();
+  if (field->is_number()) {
+    double v = field->as_number();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  return "";
+}
+
+}  // namespace
+
+maras::StatusOr<QuarterDataset> ReadOpenFdaEvents(
+    const std::string& json_text, int year, int quarter,
+    OpenFdaReadStats* stats) {
+  MARAS_ASSIGN_OR_RETURN(json::Value document, json::Parse(json_text));
+  const json::Value* results = document.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return maras::Status::Corruption("missing 'results' array");
+  }
+  OpenFdaReadStats local_stats;
+  QuarterDataset dataset;
+  dataset.year = year;
+  dataset.quarter = quarter;
+
+  for (const json::Value& result : results->as_array()) {
+    ++local_stats.results_total;
+    if (!result.is_object()) {
+      ++local_stats.skipped_incomplete;
+      continue;
+    }
+    Report report;
+    std::string report_id = StringField(result, "safetyreportid");
+    if (report_id.empty()) {
+      ++local_stats.skipped_incomplete;
+      continue;
+    }
+    report.case_id = std::strtoull(report_id.c_str(), nullptr, 10);
+    std::string version = StringField(result, "safetyreportversion");
+    report.case_version =
+        version.empty()
+            ? 1
+            : static_cast<uint32_t>(std::strtoul(version.c_str(), nullptr, 10));
+    report.type = StringField(result, "fulfillexpeditecriteria") == "1"
+                      ? ReportType::kExpedited
+                      : ReportType::kPeriodic;
+    report.country = StringField(result, "occurcountry");
+
+    const json::Value* patient = result.Find("patient");
+    if (patient == nullptr || !patient->is_object()) {
+      ++local_stats.skipped_incomplete;
+      continue;
+    }
+    std::string sex = StringField(*patient, "patientsex");
+    report.sex = sex == "1"   ? Sex::kMale
+                 : sex == "2" ? Sex::kFemale
+                              : Sex::kUnknown;
+    std::string age = StringField(*patient, "patientonsetage");
+    if (!age.empty()) report.age = std::strtod(age.c_str(), nullptr);
+
+    const json::Value* drugs = patient->Find("drug");
+    if (drugs != nullptr && drugs->is_array()) {
+      for (const json::Value& drug : drugs->as_array()) {
+        if (!drug.is_object()) continue;
+        std::string name = StringField(drug, "medicinalproduct");
+        if (!name.empty()) report.drugs.push_back(std::move(name));
+      }
+    }
+    const json::Value* reactions = patient->Find("reaction");
+    if (reactions != nullptr && reactions->is_array()) {
+      for (const json::Value& reaction : reactions->as_array()) {
+        if (!reaction.is_object()) continue;
+        std::string pt = StringField(reaction, "reactionmeddrapt");
+        if (!pt.empty()) report.reactions.push_back(std::move(pt));
+      }
+    }
+    if (report.drugs.empty() || report.reactions.empty()) {
+      ++local_stats.skipped_incomplete;
+      continue;
+    }
+    ++local_stats.reports_loaded;
+    dataset.reports.push_back(std::move(report));
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return dataset;
+}
+
+maras::StatusOr<std::string> WriteOpenFdaEvents(
+    const QuarterDataset& dataset) {
+  json::Value::Array results;
+  for (const Report& report : dataset.reports) {
+    json::Value::Object patient;
+    if (report.sex != Sex::kUnknown) {
+      patient["patientsex"] = report.sex == Sex::kMale ? "1" : "2";
+    }
+    if (report.age >= 0) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.0f", report.age);
+      patient["patientonsetage"] = std::string(buf);
+    }
+    json::Value::Array drugs;
+    for (const std::string& name : report.drugs) {
+      drugs.push_back(
+          json::Value::Object{{"medicinalproduct", json::Value(name)}});
+    }
+    patient["drug"] = std::move(drugs);
+    json::Value::Array reactions;
+    for (const std::string& pt : report.reactions) {
+      reactions.push_back(
+          json::Value::Object{{"reactionmeddrapt", json::Value(pt)}});
+    }
+    patient["reaction"] = std::move(reactions);
+
+    json::Value::Object result;
+    result["safetyreportid"] = std::to_string(report.case_id);
+    result["safetyreportversion"] = std::to_string(report.case_version);
+    result["fulfillexpeditecriteria"] =
+        report.type == ReportType::kExpedited ? "1" : "2";
+    if (!report.country.empty()) result["occurcountry"] = report.country;
+    result["patient"] = std::move(patient);
+    results.push_back(std::move(result));
+  }
+  json::Value document(
+      json::Value::Object{{"results", json::Value(std::move(results))}});
+  return json::Serialize(document, /*pretty=*/true);
+}
+
+}  // namespace maras::faers

@@ -1,0 +1,47 @@
+#ifndef MARAS_FAERS_OPENFDA_H_
+#define MARAS_FAERS_OPENFDA_H_
+
+#include <string>
+
+#include "faers/report.h"
+#include "util/statusor.h"
+
+namespace maras::faers {
+
+// Reader/writer for the openFDA drug-event JSON format — the public API the
+// paper's data-source citation points at (open.fda.gov/drug/event). The
+// subset of fields MARAS consumes:
+//
+//   {"results": [{
+//      "safetyreportid": "10012345",
+//      "safetyreportversion": "2",
+//      "fulfillexpeditecriteria": "1",           // 1 = expedited (EXP)
+//      "occurcountry": "US",
+//      "patient": {
+//        "patientsex": "2",                       // 1 = male, 2 = female
+//        "patientonsetage": "63",
+//        "drug":     [{"medicinalproduct": "ASPIRIN"}, ...],
+//        "reaction": [{"reactionmeddrapt": "HAEMORRHAGE"}, ...]
+//      }}]}
+//
+// Unknown fields are ignored on read (openFDA events carry dozens more);
+// missing optional fields default. A result without a safetyreportid, any
+// drug, or any reaction is skipped and counted, mirroring how analysis
+// pipelines treat incomplete spontaneous reports.
+struct OpenFdaReadStats {
+  size_t results_total = 0;
+  size_t reports_loaded = 0;
+  size_t skipped_incomplete = 0;
+};
+
+maras::StatusOr<QuarterDataset> ReadOpenFdaEvents(
+    const std::string& json_text, int year, int quarter,
+    OpenFdaReadStats* stats = nullptr);
+
+// Serializes a dataset into the same shape (pretty-printed), so synthetic
+// corpora can exercise any openFDA-consuming tool.
+maras::StatusOr<std::string> WriteOpenFdaEvents(const QuarterDataset& dataset);
+
+}  // namespace maras::faers
+
+#endif  // MARAS_FAERS_OPENFDA_H_

@@ -1,0 +1,126 @@
+#include "faers/preprocess.h"
+
+#include <algorithm>
+
+#include "faers/vocabulary.h"
+
+namespace maras::faers {
+
+Preprocessor::Preprocessor(PreprocessOptions options)
+    : options_(std::move(options)) {
+  if (options_.use_curated_vocabulary) {
+    for (const std::string& name : CuratedDrugNames()) {
+      drug_dictionary_.AddCanonical(name);
+    }
+    for (const DrugAlias& alias : CuratedDrugAliases()) {
+      // Aliases are pre-normalized uppercase; failure means alias ==
+      // canonical which the curated table never contains.
+      drug_dictionary_.AddAlias(alias.alias, alias.canonical);
+    }
+  }
+}
+
+std::string Preprocessor::CleanDrugName(
+    const std::string& raw,
+    std::unordered_map<std::string, std::string>* cache,
+    PreprocessStats* stats) const {
+  std::string normalized = text::NormalizeName(raw, options_.normalizer);
+  if (auto it = cache->find(normalized); it != cache->end()) {
+    return it->second;
+  }
+  std::string resolved = normalized;
+  text::Dictionary::Match match =
+      drug_dictionary_.Resolve(normalized, options_.max_edit_distance);
+  switch (match.kind) {
+    case text::Dictionary::MatchKind::kExact:
+      resolved = match.canonical;
+      break;
+    case text::Dictionary::MatchKind::kAlias:
+      resolved = match.canonical;
+      ++stats->alias_resolutions;
+      break;
+    case text::Dictionary::MatchKind::kFuzzy:
+      resolved = match.canonical;
+      ++stats->fuzzy_corrections;
+      break;
+    case text::Dictionary::MatchKind::kNone:
+      break;  // keep the normalized verbatim name as its own vocabulary entry
+  }
+  (*cache)[normalized] = resolved;
+  return resolved;
+}
+
+maras::StatusOr<PreprocessResult> Preprocessor::Process(
+    const QuarterDataset& dataset) const {
+  PreprocessResult result;
+  result.stats.reports_in = dataset.reports.size();
+
+  // Pass 1: select report versions. For each case id, remember the highest
+  // version among reports passing the EXP filter.
+  std::unordered_map<uint64_t, uint32_t> latest_version;
+  if (options_.keep_latest_case_version) {
+    for (const Report& report : dataset.reports) {
+      if (options_.expedited_only && report.type != ReportType::kExpedited) {
+        continue;
+      }
+      auto [it, inserted] =
+          latest_version.emplace(report.case_id, report.case_version);
+      if (!inserted && report.case_version > it->second) {
+        it->second = report.case_version;
+      }
+    }
+  }
+
+  // Memoizes normalized-name -> canonical resolution across the quarter.
+  std::unordered_map<std::string, std::string> cache;
+
+  for (const Report& report : dataset.reports) {
+    if (options_.expedited_only && report.type != ReportType::kExpedited) {
+      ++result.stats.dropped_not_expedited;
+      continue;
+    }
+    if (options_.keep_latest_case_version) {
+      auto it = latest_version.find(report.case_id);
+      if (it != latest_version.end() && report.case_version < it->second) {
+        ++result.stats.dropped_stale_version;
+        continue;
+      }
+    }
+    mining::Itemset transaction;
+    for (const std::string& raw : report.drugs) {
+      std::string name = CleanDrugName(raw, &cache, &result.stats);
+      if (name.empty()) continue;
+      MARAS_ASSIGN_OR_RETURN(
+          mining::ItemId id,
+          result.items.Intern(name, mining::ItemDomain::kDrug));
+      transaction.push_back(id);
+      ++result.stats.drug_mentions;
+    }
+    size_t drug_items = transaction.size();
+    for (const std::string& raw : report.reactions) {
+      std::string name = text::NormalizeName(raw, options_.normalizer);
+      if (name.empty()) continue;
+      MARAS_ASSIGN_OR_RETURN(
+          mining::ItemId id,
+          result.items.Intern(name, mining::ItemDomain::kAdr));
+      transaction.push_back(id);
+      ++result.stats.adr_mentions;
+    }
+    if (drug_items == 0 || transaction.size() == drug_items) {
+      ++result.stats.dropped_empty;
+      continue;
+    }
+    result.transactions.Add(std::move(transaction));
+    result.primary_ids.push_back(report.primary_id());
+    result.demographics.push_back(CaseDemographics{report.sex, report.age});
+    ++result.stats.reports_kept;
+  }
+
+  result.stats.distinct_drugs =
+      result.items.CountInDomain(mining::ItemDomain::kDrug);
+  result.stats.distinct_adrs =
+      result.items.CountInDomain(mining::ItemDomain::kAdr);
+  return result;
+}
+
+}  // namespace maras::faers

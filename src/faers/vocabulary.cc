@@ -1,0 +1,180 @@
+#include "faers/vocabulary.h"
+
+#include <cstdio>
+
+namespace maras::faers {
+
+const std::vector<std::string>& CuratedDrugNames() {
+  static const auto* names = new std::vector<std::string>{
+      // Drugs named in the paper's tables, case studies and examples.
+      "ASPIRIN", "WARFARIN", "IBUPROFEN", "METAMIZOLE", "METHOTREXATE",
+      "PROGRAF", "PREVACID", "NEXIUM", "ZOMETA", "PRILOSEC", "ZANTAC",
+      "TUMS", "MYLANTA", "ROLAIDS", "MELPHALAN", "FLUDARABINE", "XOLAIR",
+      "SINGULAIR", "PREDNISONE", "AMBIEN", "PEPCID",
+      // Common FAERS background drugs.
+      "ACETAMINOPHEN", "METFORMIN", "LISINOPRIL", "ATORVASTATIN",
+      "SIMVASTATIN", "AMLODIPINE", "OMEPRAZOLE", "LEVOTHYROXINE",
+      "GABAPENTIN", "HYDROCHLOROTHIAZIDE", "SERTRALINE", "FLUOXETINE",
+      "ALPRAZOLAM", "TRAMADOL", "OXYCODONE", "FUROSEMIDE", "INSULIN",
+      "CLOPIDOGREL", "RIVAROXABAN", "APIXABAN", "DIGOXIN", "AMIODARONE",
+      "CARVEDILOL", "METOPROLOL", "LOSARTAN", "VALSARTAN", "RAMIPRIL",
+      "PANTOPRAZOLE", "RANITIDINE", "CELECOXIB", "NAPROXEN", "DICLOFENAC",
+      "PREGABALIN", "DULOXETINE", "VENLAFAXINE", "CITALOPRAM",
+      "ESCITALOPRAM", "QUETIAPINE", "RISPERIDONE", "OLANZAPINE",
+      "ARIPIPRAZOLE", "LAMOTRIGINE", "LEVETIRACETAM", "CARBAMAZEPINE",
+      "PHENYTOIN", "VALPROATE", "TOPIRAMATE", "ZOLPIDEM", "LORAZEPAM",
+      "CLONAZEPAM", "DIAZEPAM", "MORPHINE", "FENTANYL", "HYDROMORPHONE",
+      "PREDNISOLONE", "DEXAMETHASONE", "HYDROCORTISONE", "AZATHIOPRINE",
+      "CYCLOSPORINE", "SIROLIMUS", "EVEROLIMUS", "MYCOPHENOLATE",
+      "RITUXIMAB", "INFLIXIMAB", "ADALIMUMAB", "ETANERCEPT", "HUMIRA",
+      "ENBREL", "REMICADE", "CISPLATIN", "CARBOPLATIN", "PACLITAXEL",
+      "DOCETAXEL", "DOXORUBICIN", "CYCLOPHOSPHAMIDE", "VINCRISTINE",
+      "BORTEZOMIB", "LENALIDOMIDE", "THALIDOMIDE", "IMATINIB", "ERLOTINIB",
+      "GEFITINIB", "SUNITINIB", "SORAFENIB", "BEVACIZUMAB", "TRASTUZUMAB",
+      "CETUXIMAB", "ALLOPURINOL", "COLCHICINE", "METHYLPREDNISOLONE",
+      "CIPROFLOXACIN", "LEVOFLOXACIN", "AMOXICILLIN", "AZITHROMYCIN",
+      "CLARITHROMYCIN", "DOXYCYCLINE", "VANCOMYCIN", "FLUCONAZOLE",
+      "KETOCONAZOLE", "ACYCLOVIR", "VALACYCLOVIR", "TENOFOVIR",
+      "EMTRICITABINE", "EFAVIRENZ", "RITONAVIR", "LOPINAVIR",
+  };
+  return *names;
+}
+
+const std::vector<std::string>& CuratedAdrTerms() {
+  static const auto* terms = new std::vector<std::string>{
+      // Reactions named in the paper.
+      "OSTEOPOROSIS", "OSTEOARTHRITIS", "OSTEONECROSIS OF JAW", "PAIN",
+      "NEUROPATHY PERIPHERAL", "DRUG INEFFECTIVE",
+      "CHRONIC GRAFT VERSUS HOST DISEASE", "ACUTE GRAFT VERSUS HOST DISEASE",
+      "GRANULOCYTE COLONY-STIMULATING FACTOR NOS", "ANXIETY", "ANAEMIA",
+      "ASTHMA", "ACUTE RENAL FAILURE", "HAEMORRHAGE", "OSTEOPENIA",
+      // Common FAERS preferred terms.
+      "NAUSEA", "VOMITING", "DIARRHOEA", "HEADACHE", "DIZZINESS", "FATIGUE",
+      "RASH", "PRURITUS", "URTICARIA", "DYSPNOEA", "PYREXIA", "INSOMNIA",
+      "SOMNOLENCE", "CONSTIPATION", "ABDOMINAL PAIN", "DEPRESSION",
+      "TREMOR", "CONVULSION", "HYPOTENSION", "HYPERTENSION", "TACHYCARDIA",
+      "BRADYCARDIA", "ATRIAL FIBRILLATION", "CARDIAC ARREST",
+      "MYOCARDIAL INFARCTION", "CEREBROVASCULAR ACCIDENT",
+      "PULMONARY EMBOLISM", "DEEP VEIN THROMBOSIS",
+      "GASTROINTESTINAL HAEMORRHAGE", "HEPATOTOXICITY", "HEPATIC FAILURE",
+      "JAUNDICE", "RENAL IMPAIRMENT", "RENAL FAILURE", "PROTEINURIA",
+      "HYPERGLYCAEMIA", "HYPOGLYCAEMIA", "HYPONATRAEMIA", "HYPOKALAEMIA",
+      "HYPERKALAEMIA", "NEUTROPENIA", "THROMBOCYTOPENIA", "LEUKOPENIA",
+      "PANCYTOPENIA", "FEBRILE NEUTROPENIA", "SEPSIS", "PNEUMONIA",
+      "URINARY TRACT INFECTION", "ANAPHYLACTIC REACTION", "ANGIOEDEMA",
+      "STEVENS-JOHNSON SYNDROME", "TOXIC EPIDERMAL NECROLYSIS",
+      "QT PROLONGED", "TORSADE DE POINTES", "RHABDOMYOLYSIS", "MYALGIA",
+      "ARTHRALGIA", "BONE FRACTURE", "FALL", "WEIGHT DECREASED",
+      "WEIGHT INCREASED", "ALOPECIA", "STOMATITIS", "MUCOSAL INFLAMMATION",
+      "DYSGEUSIA", "VISION BLURRED", "TINNITUS", "VERTIGO", "SYNCOPE",
+      "CONFUSIONAL STATE", "HALLUCINATION", "AGITATION", "SUICIDAL IDEATION",
+      "COMPLETED SUICIDE", "DEATH", "DRUG INTERACTION",
+      "OFF LABEL USE", "DRUG ABUSE", "OVERDOSE", "MEDICATION ERROR",
+  };
+  return *terms;
+}
+
+const std::vector<DrugAlias>& CuratedDrugAliases() {
+  static const auto* aliases = new std::vector<DrugAlias>{
+      {"TACROLIMUS", "PROGRAF"},
+      {"LANSOPRAZOLE", "PREVACID"},
+      {"ESOMEPRAZOLE", "NEXIUM"},
+      {"ZOLEDRONIC ACID", "ZOMETA"},
+      {"OMALIZUMAB", "XOLAIR"},
+      {"MONTELUKAST", "SINGULAIR"},
+      {"ZOLPIDEM TARTRATE", "AMBIEN"},
+      {"FAMOTIDINE", "PEPCID"},
+      {"ACETYLSALICYLIC ACID", "ASPIRIN"},
+      {"COUMADIN", "WARFARIN"},
+      {"ADVIL", "IBUPROFEN"},
+      {"MOTRIN", "IBUPROFEN"},
+      {"DIPYRONE", "METAMIZOLE"},
+      {"TYLENOL", "ACETAMINOPHEN"},
+      {"PARACETAMOL", "ACETAMINOPHEN"},
+      {"GLUCOPHAGE", "METFORMIN"},
+      {"LIPITOR", "ATORVASTATIN"},
+      {"ZOCOR", "SIMVASTATIN"},
+      {"NORVASC", "AMLODIPINE"},
+      {"LASIX", "FUROSEMIDE"},
+      {"PLAVIX", "CLOPIDOGREL"},
+      {"XARELTO", "RIVAROXABAN"},
+      {"ELIQUIS", "APIXABAN"},
+      {"XANAX", "ALPRAZOLAM"},
+      {"VALIUM", "DIAZEPAM"},
+      {"ATIVAN", "LORAZEPAM"},
+      {"KLONOPIN", "CLONAZEPAM"},
+      {"NEURONTIN", "GABAPENTIN"},
+      {"LYRICA", "PREGABALIN"},
+      {"CYMBALTA", "DULOXETINE"},
+      {"EFFEXOR", "VENLAFAXINE"},
+      {"ZOLOFT", "SERTRALINE"},
+      {"PROZAC", "FLUOXETINE"},
+      {"CELEXA", "CITALOPRAM"},
+      {"LEXAPRO", "ESCITALOPRAM"},
+      {"SEROQUEL", "QUETIAPINE"},
+      {"RISPERDAL", "RISPERIDONE"},
+      {"ZYPREXA", "OLANZAPINE"},
+      {"ABILIFY", "ARIPIPRAZOLE"},
+  };
+  return *aliases;
+}
+
+const std::vector<KnownInteraction>& KnownInteractions() {
+  static const auto* interactions = new std::vector<KnownInteraction>{
+      {"case1_ibuprofen_metamizole",
+       {"IBUPROFEN", "METAMIZOLE"},
+       {"ACUTE RENAL FAILURE"},
+       "WHO Pharmaceuticals Newsletter 2014 (VigiBase): combined NSAID use "
+       "associated with acute renal failure",
+       /*exposure_multiplier=*/5.0},
+      {"case2_methotrexate_prograf",
+       {"METHOTREXATE", "PROGRAF"},
+       {"DRUG INEFFECTIVE"},
+       "Drugs.com / DrugBank: methotrexate + tacrolimus nephrotoxicity and "
+       "reduced efficacy"},
+      {"case3_prevacid_nexium",
+       {"PREVACID", "NEXIUM"},
+       {"OSTEOPOROSIS"},
+       "Drugs.com therapeutic duplication: concurrent PPIs raise "
+       "osteoporosis/fracture risk"},
+      {"intro_aspirin_warfarin",
+       {"ASPIRIN", "WARFARIN"},
+       {"HAEMORRHAGE"},
+       "Chan 1995: warfarin + NSAIDs -> excessive bleeding",
+       /*exposure_multiplier=*/6.0},
+      {"table52_zometa_prilosec",
+       {"ZOMETA", "PRILOSEC"},
+       {"OSTEONECROSIS OF JAW", "OSTEOARTHRITIS", "NEUROPATHY PERIPHERAL",
+        "PAIN"},
+       "Paper Table 5.2 exclusiveness-with-confidence top association"},
+      {"table31_xolair_singulair_prednisone",
+       {"XOLAIR", "SINGULAIR", "PREDNISONE"},
+       {"ASTHMA"},
+       "Paper Table 3.1 MCAC example (three-drug target rule)"},
+      {"gvhd_prograf_methotrexate_melphalan",
+       {"PROGRAF", "MELPHALAN", "FLUDARABINE"},
+       {"ACUTE GRAFT VERSUS HOST DISEASE"},
+       "Paper Table 5.2 exclusiveness-with-lift transplant-regimen cluster"},
+      {"hiv_regimen_tenofovir",
+       {"TENOFOVIR", "EMTRICITABINE", "EFAVIRENZ", "RITONAVIR"},
+       {"RENAL IMPAIRMENT"},
+       "Tenofovir nephrotoxicity potentiated by ritonavir boosting "
+       "(four-drug regimen; exercises the 4-drug glyph/user-study path)",
+       /*exposure_multiplier=*/1.5},
+  };
+  return *interactions;
+}
+
+std::vector<std::string> SyntheticNames(const std::string& prefix,
+                                        size_t count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%05zu", prefix.c_str(), i);
+    names.emplace_back(buf);
+  }
+  return names;
+}
+
+}  // namespace maras::faers

@@ -1,0 +1,46 @@
+#ifndef MARAS_FAERS_VOCABULARY_H_
+#define MARAS_FAERS_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+namespace maras::faers {
+
+// Curated drug names (brand and generic, uppercase canonical form) that
+// appear in the paper's tables and case studies, plus common FAERS drugs.
+const std::vector<std::string>& CuratedDrugNames();
+
+// Curated MedDRA-style adverse-reaction preferred terms.
+const std::vector<std::string>& CuratedAdrTerms();
+
+// Brand → generic style aliases used by the normalizer dictionary and by
+// the generator when emitting name variants.
+struct DrugAlias {
+  std::string alias;
+  std::string canonical;
+};
+const std::vector<DrugAlias>& CuratedDrugAliases();
+
+// A known multi-drug interaction signal with literature provenance; these
+// drive the case-study injections (paper Section 5.4) and the ground truth
+// the benches check recovery against.
+struct KnownInteraction {
+  std::string name;                 // short id, e.g. "case1_ibu_metamizole"
+  std::vector<std::string> drugs;   // canonical drug names (>= 2)
+  std::vector<std::string> adrs;    // associated reactions
+  std::string provenance;           // citation note
+  // Relative report volume: interactions between widely co-prescribed
+  // drugs accumulate proportionally more spontaneous reports (exposure),
+  // which is what keeps their signal visible over background co-occurrence.
+  double exposure_multiplier = 1.0;
+};
+const std::vector<KnownInteraction>& KnownInteractions();
+
+// Deterministically generates `count` synthetic names such as "DRUG00417"
+// or "REACTION00042" to extend a vocabulary to FAERS-like cardinality.
+std::vector<std::string> SyntheticNames(const std::string& prefix,
+                                        size_t count);
+
+}  // namespace maras::faers
+
+#endif  // MARAS_FAERS_VOCABULARY_H_

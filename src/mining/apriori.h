@@ -1,0 +1,28 @@
+#ifndef MARAS_MINING_APRIORI_H_
+#define MARAS_MINING_APRIORI_H_
+
+#include "mining/frequent_itemsets.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras::mining {
+
+// Classic level-wise Apriori (Agrawal & Srikant) frequent-itemset miner.
+// Serves as the correctness baseline for FP-Growth in tests and as the
+// comparison algorithm in the mining benchmarks. Candidate generation is the
+// standard F_{k-1} × F_{k-1} self-join with prefix sharing, followed by the
+// all-subsets-frequent prune; support counting intersects tid lists.
+class Apriori {
+ public:
+  explicit Apriori(MiningOptions options) : options_(options) {}
+
+  maras::StatusOr<FrequentItemsetResult> Mine(
+      const TransactionDatabase& db) const;
+
+ private:
+  MiningOptions options_;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_APRIORI_H_

@@ -1,0 +1,59 @@
+#include "mining/closed_itemsets.h"
+
+#include <unordered_set>
+
+#include "mining/fpgrowth.h"
+
+namespace maras::mining {
+
+FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all) {
+  // Mark every itemset that has an equal-support immediate superset in the
+  // result by walking each itemset's immediate subsets.
+  std::unordered_set<Itemset, ItemsetHash> not_closed;
+  for (const FrequentItemset& fi : all.itemsets()) {
+    if (fi.items.size() < 2) continue;
+    Itemset subset;
+    subset.reserve(fi.items.size() - 1);
+    for (size_t drop = 0; drop < fi.items.size(); ++drop) {
+      subset.clear();
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != drop) subset.push_back(fi.items[i]);
+      }
+      if (all.SupportOf(subset) == fi.support) {
+        not_closed.insert(subset);
+      }
+    }
+  }
+  FrequentItemsetResult closed;
+  for (const FrequentItemset& fi : all.itemsets()) {
+    if (not_closed.count(fi.items) == 0) {
+      closed.Add(fi.items, fi.support);
+    }
+  }
+  closed.SortCanonically();
+  return closed;
+}
+
+Itemset ClosureOf(const TransactionDatabase& db, const Itemset& s) {
+  std::vector<TransactionId> tids = db.ContainingTransactions(s);
+  if (tids.empty()) return {};
+  Itemset closure = db.transaction(tids[0]);
+  for (size_t i = 1; i < tids.size() && closure.size() > s.size(); ++i) {
+    closure = Intersect(closure, db.transaction(tids[i]));
+  }
+  return closure;
+}
+
+bool IsClosedInDatabase(const TransactionDatabase& db, const Itemset& s) {
+  Itemset closure = ClosureOf(db, s);
+  return !closure.empty() && closure == s;
+}
+
+maras::StatusOr<FrequentItemsetResult> MineClosed(
+    const TransactionDatabase& db, const MiningOptions& options) {
+  FpGrowth miner(options);
+  MARAS_ASSIGN_OR_RETURN(FrequentItemsetResult all, miner.Mine(db));
+  return FilterClosed(all);
+}
+
+}  // namespace maras::mining

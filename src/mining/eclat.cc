@@ -1,0 +1,62 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+
+namespace maras::mining {
+
+maras::StatusOr<FrequentItemsetResult> Eclat::Mine(
+    const TransactionDatabase& db) const {
+  if (options_.min_support == 0) {
+    return maras::Status::InvalidArgument("min_support must be >= 1");
+  }
+  FrequentItemsetResult result;
+  // Root equivalence class: one vertical entry per frequent item, in
+  // ascending item order so emitted itemsets are canonically sorted.
+  std::vector<Vertical> root;
+  {
+    std::vector<ItemId> items;
+    for (const Itemset& t : db.transactions()) {
+      items.insert(items.end(), t.begin(), t.end());
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (ItemId item : items) {
+      const auto& tids = db.TidList(item);
+      if (tids.size() >= options_.min_support) {
+        root.push_back(Vertical{item, tids});
+      }
+    }
+  }
+  MineClass({}, root, &result);
+  result.SortCanonically();
+  return result;
+}
+
+void Eclat::MineClass(const Itemset& prefix,
+                      const std::vector<Vertical>& klass,
+                      FrequentItemsetResult* result) const {
+  for (size_t i = 0; i < klass.size(); ++i) {
+    Itemset itemset = prefix;
+    itemset.push_back(klass[i].item);
+    result->Add(itemset, klass[i].tids.size());
+    if (options_.max_itemset_size != 0 &&
+        itemset.size() >= options_.max_itemset_size) {
+      continue;
+    }
+    // Child class: intersect with every later sibling.
+    std::vector<Vertical> child;
+    for (size_t j = i + 1; j < klass.size(); ++j) {
+      Vertical entry;
+      entry.item = klass[j].item;
+      std::set_intersection(klass[i].tids.begin(), klass[i].tids.end(),
+                            klass[j].tids.begin(), klass[j].tids.end(),
+                            std::back_inserter(entry.tids));
+      if (entry.tids.size() >= options_.min_support) {
+        child.push_back(std::move(entry));
+      }
+    }
+    if (!child.empty()) MineClass(itemset, child, result);
+  }
+}
+
+}  // namespace maras::mining

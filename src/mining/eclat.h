@@ -1,0 +1,37 @@
+#ifndef MARAS_MINING_ECLAT_H_
+#define MARAS_MINING_ECLAT_H_
+
+#include "mining/frequent_itemsets.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras::mining {
+
+// ECLAT (Zaki): vertical-layout frequent-itemset mining by recursive
+// tid-list intersection over equivalence classes of a common prefix. The
+// third classic miner in the suite — Apriori (horizontal, level-wise),
+// FP-Growth (prefix-tree projection) and ECLAT (vertical) must produce
+// identical results; the benchmarks compare their cost profiles on
+// FAERS-shaped data.
+class Eclat {
+ public:
+  explicit Eclat(MiningOptions options) : options_(options) {}
+
+  maras::StatusOr<FrequentItemsetResult> Mine(
+      const TransactionDatabase& db) const;
+
+ private:
+  struct Vertical {
+    ItemId item;
+    std::vector<TransactionId> tids;
+  };
+
+  void MineClass(const Itemset& prefix, const std::vector<Vertical>& klass,
+                 FrequentItemsetResult* result) const;
+
+  MiningOptions options_;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_ECLAT_H_

@@ -1,0 +1,79 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace maras::mining {
+
+namespace {
+
+// Builds the conditional FP-tree for a pattern base: drop items below
+// min_support within the base, re-order every path by the conditional
+// supports, insert with multiplicity.
+std::unique_ptr<FpTree> BuildConditionalTree(
+    const std::vector<FpTree::PrefixPath>& base, size_t min_support) {
+  std::unordered_map<ItemId, size_t> counts;
+  for (const auto& path : base) {
+    for (ItemId item : path.items) counts[item] += path.count;
+  }
+  auto tree = std::make_unique<FpTree>();
+  auto order = [&counts](ItemId a, ItemId b) {
+    size_t ca = counts[a];
+    size_t cb = counts[b];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  };
+  std::vector<ItemId> filtered;
+  for (const auto& path : base) {
+    filtered.clear();
+    for (ItemId item : path.items) {
+      if (counts[item] >= min_support) filtered.push_back(item);
+    }
+    if (filtered.empty()) continue;
+    std::sort(filtered.begin(), filtered.end(), order);
+    tree->Insert(filtered, path.count);
+  }
+  return tree;
+}
+
+}  // namespace
+
+maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
+    const TransactionDatabase& db) const {
+  if (options_.min_support == 0) {
+    return maras::Status::InvalidArgument("min_support must be >= 1");
+  }
+  FrequentItemsetResult result;
+  std::unique_ptr<FpTree> tree = FpTree::Build(db, options_.min_support);
+  MineTree(*tree, /*suffix=*/{}, &result);
+  result.SortCanonically();
+  return result;
+}
+
+void FpGrowth::MineTree(const FpTree& tree, const Itemset& suffix,
+                        FrequentItemsetResult* result) const {
+  if (options_.max_itemset_size != 0 &&
+      suffix.size() >= options_.max_itemset_size) {
+    return;
+  }
+  for (ItemId item : tree.ItemsBySupportAscending()) {
+    size_t support = tree.ItemCount(item);
+    if (support < options_.min_support) continue;
+    Itemset pattern = suffix;
+    pattern.push_back(item);
+    std::sort(pattern.begin(), pattern.end());
+    result->Add(pattern, support);
+
+    if (options_.max_itemset_size != 0 &&
+        pattern.size() >= options_.max_itemset_size) {
+      continue;  // no deeper extensions wanted
+    }
+    auto base = tree.ConditionalPatternBase(item);
+    if (base.empty()) continue;
+    std::unique_ptr<FpTree> conditional =
+        BuildConditionalTree(base, options_.min_support);
+    MineTree(*conditional, pattern, result);
+  }
+}
+
+}  // namespace maras::mining

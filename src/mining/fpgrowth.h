@@ -1,0 +1,31 @@
+#ifndef MARAS_MINING_FPGROWTH_H_
+#define MARAS_MINING_FPGROWTH_H_
+
+#include "mining/fptree.h"
+#include "mining/frequent_itemsets.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras::mining {
+
+// FP-Growth frequent-itemset miner (Han, Pei & Yin). The paper's mining
+// phase uses FP-Growth trees for closed itemset and rule generation
+// (Section 5.2); closedness filtering lives in closed_itemsets.h on top of
+// this miner's output.
+class FpGrowth {
+ public:
+  explicit FpGrowth(MiningOptions options) : options_(options) {}
+
+  maras::StatusOr<FrequentItemsetResult> Mine(
+      const TransactionDatabase& db) const;
+
+ private:
+  void MineTree(const FpTree& tree, const Itemset& suffix,
+                FrequentItemsetResult* result) const;
+
+  MiningOptions options_;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_FPGROWTH_H_

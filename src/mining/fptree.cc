@@ -1,0 +1,133 @@
+#include "mining/fptree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace maras::mining {
+
+FpTree::Node* FpTree::NewNode(ItemId item, Node* parent) {
+  arena_.push_back(std::make_unique<Node>());
+  Node* node = arena_.back().get();
+  node->item = item;
+  node->parent = parent;
+  return node;
+}
+
+FpTree::Node* FpTree::ChildFor(Node* node, ItemId item) {
+  auto it = std::lower_bound(
+      node->children.begin(), node->children.end(), item,
+      [](const Node* child, ItemId id) { return child->item < id; });
+  if (it != node->children.end() && (*it)->item == item) return *it;
+  Node* child = NewNode(item, node);
+  node->children.insert(it, child);
+  // Append to the header chain.
+  auto last_it = header_last_.find(item);
+  if (last_it == header_last_.end()) {
+    header_first_[item] = child;
+    header_last_[item] = child;
+  } else {
+    last_it->second->next_same_item = child;
+    last_it->second = child;
+  }
+  return child;
+}
+
+void FpTree::Insert(const std::vector<ItemId>& path, size_t count) {
+  Node* node = root_;
+  for (ItemId item : path) {
+    node = ChildFor(node, item);
+    node->count += count;
+    item_counts_[item] += count;
+  }
+}
+
+std::unique_ptr<FpTree> FpTree::Build(const TransactionDatabase& db,
+                                      size_t min_support) {
+  auto tree = std::make_unique<FpTree>();
+  // Global item supports.
+  std::unordered_map<ItemId, size_t> supports;
+  for (const Itemset& t : db.transactions()) {
+    for (ItemId item : t) ++supports[item];
+  }
+  // Per-transaction reorder: descending support, ties ascending id.
+  auto order = [&supports](ItemId a, ItemId b) {
+    size_t sa = supports[a];
+    size_t sb = supports[b];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  std::vector<ItemId> path;
+  for (const Itemset& t : db.transactions()) {
+    path.clear();
+    for (ItemId item : t) {
+      if (supports[item] >= min_support) path.push_back(item);
+    }
+    if (path.empty()) continue;
+    std::sort(path.begin(), path.end(), order);
+    tree->Insert(path, 1);
+  }
+  return tree;
+}
+
+std::vector<ItemId> FpTree::ItemsBySupportAscending() const {
+  std::vector<ItemId> items;
+  items.reserve(item_counts_.size());
+  for (const auto& [item, count] : item_counts_) items.push_back(item);
+  std::sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
+    size_t sa = item_counts_.at(a);
+    size_t sb = item_counts_.at(b);
+    if (sa != sb) return sa < sb;
+    return a > b;
+  });
+  return items;
+}
+
+size_t FpTree::ItemCount(ItemId item) const {
+  auto it = item_counts_.find(item);
+  return it == item_counts_.end() ? 0 : it->second;
+}
+
+const FpTree::Node* FpTree::HeaderChain(ItemId item) const {
+  auto it = header_first_.find(item);
+  return it == header_first_.end() ? nullptr : it->second;
+}
+
+bool FpTree::IsSinglePath() const {
+  const Node* node = root_;
+  while (!node->children.empty()) {
+    if (node->children.size() > 1) return false;
+    node = node->children.front();
+  }
+  return true;
+}
+
+std::vector<std::pair<ItemId, size_t>> FpTree::SinglePathItems() const {
+  MARAS_CHECK(IsSinglePath()) << "tree is not a single path";
+  std::vector<std::pair<ItemId, size_t>> items;
+  const Node* node = root_;
+  while (!node->children.empty()) {
+    node = node->children.front();
+    items.emplace_back(node->item, node->count);
+  }
+  return items;
+}
+
+std::vector<FpTree::PrefixPath> FpTree::ConditionalPatternBase(
+    ItemId item) const {
+  std::vector<PrefixPath> base;
+  for (const Node* node = HeaderChain(item); node != nullptr;
+       node = node->next_same_item) {
+    PrefixPath path;
+    path.count = node->count;
+    for (const Node* up = node->parent; up != nullptr && up->parent != nullptr;
+         up = up->parent) {
+      path.items.push_back(up->item);
+    }
+    std::reverse(path.items.begin(), path.items.end());
+    if (!path.items.empty()) base.push_back(std::move(path));
+  }
+  return base;
+}
+
+}  // namespace maras::mining

@@ -1,0 +1,84 @@
+#ifndef MARAS_MINING_FPTREE_H_
+#define MARAS_MINING_FPTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/itemset.h"
+#include "mining/transaction_db.h"
+
+namespace maras::mining {
+
+// FP-tree (Han et al.): a prefix tree over transactions whose items are
+// re-ordered by descending global frequency, with per-item node chains
+// (header table) for fast conditional-pattern-base extraction. Nodes are
+// arena-allocated inside the tree and freed together.
+class FpTree {
+ public:
+  struct Node {
+    ItemId item = 0;
+    size_t count = 0;
+    Node* parent = nullptr;
+    Node* next_same_item = nullptr;  // header-table chain
+    std::vector<Node*> children;     // sorted by item for binary search
+  };
+
+  FpTree() : root_(NewNode(/*item=*/0, /*parent=*/nullptr)) {}
+
+  FpTree(const FpTree&) = delete;
+  FpTree& operator=(const FpTree&) = delete;
+
+  // Builds a tree from a transaction database, keeping only items with
+  // support >= min_support and ordering each transaction by descending
+  // support (ties by ascending id).
+  static std::unique_ptr<FpTree> Build(const TransactionDatabase& db,
+                                       size_t min_support);
+
+  // Inserts a (frequency-ordered) item path with multiplicity `count`.
+  void Insert(const std::vector<ItemId>& path, size_t count);
+
+  // Items present in the header table, ordered by ascending support
+  // (ties by descending id) — the order FP-Growth consumes them in.
+  std::vector<ItemId> ItemsBySupportAscending() const;
+
+  // Total support of `item` within this tree.
+  size_t ItemCount(ItemId item) const;
+
+  // First node of the header chain for `item` (nullptr when absent).
+  const Node* HeaderChain(ItemId item) const;
+
+  // True when the tree consists of a single chain from the root (the
+  // FP-Growth single-path shortcut applies).
+  bool IsSinglePath() const;
+
+  // The items (with counts) along the single path, root-side first.
+  // Only valid when IsSinglePath().
+  std::vector<std::pair<ItemId, size_t>> SinglePathItems() const;
+
+  const Node* root() const { return root_; }
+  size_t node_count() const { return arena_.size(); }
+
+  // Conditional pattern base of `item`: for every node of `item`, the prefix
+  // path to the root with the node's count.
+  struct PrefixPath {
+    std::vector<ItemId> items;  // ordered root-side first
+    size_t count = 0;
+  };
+  std::vector<PrefixPath> ConditionalPatternBase(ItemId item) const;
+
+ private:
+  Node* NewNode(ItemId item, Node* parent);
+  Node* ChildFor(Node* node, ItemId item);
+
+  std::vector<std::unique_ptr<Node>> arena_;
+  Node* root_;
+  std::unordered_map<ItemId, Node*> header_first_;
+  std::unordered_map<ItemId, Node*> header_last_;
+  std::unordered_map<ItemId, size_t> item_counts_;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_FPTREE_H_

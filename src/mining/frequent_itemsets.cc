@@ -1,0 +1,31 @@
+#include "mining/frequent_itemsets.h"
+
+#include <algorithm>
+
+namespace maras::mining {
+
+void FrequentItemsetResult::Add(Itemset items, size_t support) {
+  support_[items] = support;
+  itemsets_.push_back(FrequentItemset{std::move(items), support});
+}
+
+size_t FrequentItemsetResult::SupportOf(const Itemset& s) const {
+  auto it = support_.find(s);
+  return it == support_.end() ? 0 : it->second;
+}
+
+bool FrequentItemsetResult::ContainsItemset(const Itemset& s) const {
+  return support_.count(s) > 0;
+}
+
+void FrequentItemsetResult::SortCanonically() {
+  std::sort(itemsets_.begin(), itemsets_.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace maras::mining

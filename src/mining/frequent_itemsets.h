@@ -1,0 +1,55 @@
+#ifndef MARAS_MINING_FREQUENT_ITEMSETS_H_
+#define MARAS_MINING_FREQUENT_ITEMSETS_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace maras::mining {
+
+// A mined itemset together with its absolute support count.
+struct FrequentItemset {
+  Itemset items;
+  size_t support = 0;
+};
+
+// The full result of a frequent-itemset mining pass: the itemsets plus a
+// support lookup table (used by rule generation and closedness checks).
+class FrequentItemsetResult {
+ public:
+  FrequentItemsetResult() = default;
+
+  void Add(Itemset items, size_t support);
+
+  const std::vector<FrequentItemset>& itemsets() const { return itemsets_; }
+  size_t size() const { return itemsets_.size(); }
+
+  // Support of `s` when it was mined; 0 otherwise.
+  size_t SupportOf(const Itemset& s) const;
+  bool ContainsItemset(const Itemset& s) const;
+
+  // Sorts itemsets by (size, lexicographic ids) so results are directly
+  // comparable across mining algorithms in tests.
+  void SortCanonically();
+
+ private:
+  std::vector<FrequentItemset> itemsets_;
+  std::unordered_map<Itemset, size_t, ItemsetHash> support_;
+};
+
+// Mining algorithm knobs shared by Apriori and FP-Growth.
+struct MiningOptions {
+  // Absolute minimum support count (the paper mines with a very low support
+  // threshold to keep rare drug combinations; Section 1.3).
+  size_t min_support = 2;
+  // Upper bound on mined itemset size; 0 means unbounded. Reports mention
+  // up to ~4 interacting drugs; capping keeps the search tractable on dense
+  // synthetic data.
+  size_t max_itemset_size = 0;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_FREQUENT_ITEMSETS_H_

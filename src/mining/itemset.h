@@ -1,0 +1,54 @@
+#ifndef MARAS_MINING_ITEMSET_H_
+#define MARAS_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace maras::mining {
+
+// Dense identifier for an interned item (drug or ADR name).
+using ItemId = uint32_t;
+
+// An itemset is a strictly increasing vector of ItemIds. All functions below
+// require (and preserve) that invariant.
+using Itemset = std::vector<ItemId>;
+
+// Returns a sorted, de-duplicated itemset built from arbitrary ids.
+Itemset MakeItemset(std::vector<ItemId> ids);
+
+// True when `a` ⊆ `b`. Both must be sorted.
+bool IsSubset(const Itemset& a, const Itemset& b);
+
+// Set union / intersection / difference of sorted itemsets.
+Itemset Union(const Itemset& a, const Itemset& b);
+Itemset Intersect(const Itemset& a, const Itemset& b);
+Itemset Difference(const Itemset& a, const Itemset& b);
+
+// True when sorted `a` contains `item`.
+bool Contains(const Itemset& a, ItemId item);
+
+// Enumerates every proper, non-empty subset of `s` (2^|s| − 2 of them) and
+// invokes `fn` on each. |s| must be <= 20 to keep enumeration sane.
+void ForEachProperSubset(const Itemset& s,
+                         const std::function<void(const Itemset&)>& fn);
+
+// FNV-1a hash over the id sequence, usable as an unordered_map key hasher.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (ItemId id : s) {
+      h ^= id;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Debug rendering, e.g. "{1, 5, 9}".
+std::string ToString(const Itemset& s);
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_ITEMSET_H_

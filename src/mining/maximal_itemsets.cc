@@ -1,0 +1,43 @@
+#include "mining/maximal_itemsets.h"
+
+#include <unordered_set>
+
+#include "mining/closed_itemsets.h"
+
+namespace maras::mining {
+
+FrequentItemsetResult FilterMaximal(const FrequentItemsetResult& all) {
+  // Any itemset that is an immediate subset of another mined itemset has a
+  // frequent superset and is therefore not maximal.
+  std::unordered_set<Itemset, ItemsetHash> not_maximal;
+  Itemset subset;
+  for (const FrequentItemset& fi : all.itemsets()) {
+    if (fi.items.size() < 2) continue;
+    for (size_t drop = 0; drop < fi.items.size(); ++drop) {
+      subset.clear();
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != drop) subset.push_back(fi.items[i]);
+      }
+      not_maximal.insert(subset);
+    }
+  }
+  FrequentItemsetResult maximal;
+  for (const FrequentItemset& fi : all.itemsets()) {
+    if (not_maximal.count(fi.items) == 0) {
+      maximal.Add(fi.items, fi.support);
+    }
+  }
+  maximal.SortCanonically();
+  return maximal;
+}
+
+bool IsMaximalFamilySubsetOfClosed(const FrequentItemsetResult& all) {
+  FrequentItemsetResult maximal = FilterMaximal(all);
+  FrequentItemsetResult closed = FilterClosed(all);
+  for (const FrequentItemset& fi : maximal.itemsets()) {
+    if (!closed.ContainsItemset(fi.items)) return false;
+  }
+  return true;
+}
+
+}  // namespace maras::mining

@@ -1,0 +1,29 @@
+#ifndef MARAS_MINING_MAXIMAL_ITEMSETS_H_
+#define MARAS_MINING_MAXIMAL_ITEMSETS_H_
+
+#include "mining/frequent_itemsets.h"
+#include "util/statusor.h"
+
+namespace maras::mining {
+
+// Maximal frequent itemsets: the frequent itemsets with no frequent proper
+// superset. The third compression level of the frequent family —
+//   maximal ⊆ closed ⊆ frequent —
+// maximal loses support information (unlike closed), which is exactly why
+// MARAS mines closed itemsets instead; the rule-space bench quantifies the
+// difference on FAERS-shaped data.
+//
+// Exact by the same immediate-superset argument FilterClosed uses: a
+// frequent S has a frequent proper superset iff it has a frequent
+// immediate superset S ∪ {i}, and every such superset appears in the mined
+// family (caveat: under a max_itemset_size cap, sets at the cap boundary
+// are reported maximal within the capped family).
+FrequentItemsetResult FilterMaximal(const FrequentItemsetResult& all);
+
+// Verifies the containment chain maximal ⊆ closed ⊆ frequent for a mined
+// family; used by property tests.
+bool IsMaximalFamilySubsetOfClosed(const FrequentItemsetResult& all);
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_MAXIMAL_ITEMSETS_H_

@@ -1,0 +1,81 @@
+#include "mining/rules.h"
+
+#include "mining/measures.h"
+
+namespace maras::mining {
+
+namespace {
+
+// Invokes fn(antecedent, consequent) for every non-trivial bipartition of s.
+template <typename Fn>
+void ForEachBipartition(const Itemset& s, Fn&& fn) {
+  const uint32_t k = static_cast<uint32_t>(s.size());
+  if (k < 2 || k > 20) return;
+  const uint32_t full = (1u << k) - 1;
+  Itemset antecedent, consequent;
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    antecedent.clear();
+    consequent.clear();
+    for (uint32_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) {
+        antecedent.push_back(s[i]);
+      } else {
+        consequent.push_back(s[i]);
+      }
+    }
+    fn(antecedent, consequent);
+  }
+}
+
+}  // namespace
+
+RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
+                                      double min_confidence) {
+  RuleSpaceCount count;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    if (fi.items.size() < 2) continue;
+    ++count.itemsets_considered;
+    if (min_confidence <= 0.0) {
+      // Every bipartition passes: 2^k − 2 rules.
+      count.total_rules += (1ull << fi.items.size()) - 2;
+      continue;
+    }
+    ForEachBipartition(fi.items, [&](const Itemset& a, const Itemset& b) {
+      (void)b;
+      size_t supp_a = result.SupportOf(a);
+      if (Confidence(fi.support, supp_a) >= min_confidence) {
+        ++count.total_rules;
+      }
+    });
+  }
+  return count;
+}
+
+std::vector<AssociationRule> GenerateAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence, size_t n,
+    size_t max_rules) {
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    if (fi.items.size() < 2) continue;
+    if (rules.size() >= max_rules) break;
+    ForEachBipartition(fi.items, [&](const Itemset& a, const Itemset& b) {
+      if (rules.size() >= max_rules) return;
+      size_t supp_a = result.SupportOf(a);
+      size_t supp_b = result.SupportOf(b);
+      double conf = Confidence(fi.support, supp_a);
+      if (conf < min_confidence) return;
+      AssociationRule rule;
+      rule.antecedent = a;
+      rule.consequent = b;
+      rule.support = fi.support;
+      rule.antecedent_support = supp_a;
+      rule.consequent_support = supp_b;
+      rule.confidence = conf;
+      rule.lift = Lift(fi.support, supp_a, supp_b, n);
+      rules.push_back(std::move(rule));
+    });
+  }
+  return rules;
+}
+
+}  // namespace maras::mining

@@ -1,0 +1,48 @@
+#ifndef MARAS_MINING_RULES_H_
+#define MARAS_MINING_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mining/frequent_itemsets.h"
+#include "mining/itemset.h"
+
+namespace maras::mining {
+
+// A generic association rule R ≡ A ⇒ B (Definition 2.1.1) with its
+// evaluation counts. Support follows the paper's absolute-count convention.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  size_t support = 0;             // supp(A ∪ B)
+  size_t antecedent_support = 0;  // supp(A)
+  size_t consequent_support = 0;  // supp(B)
+  double confidence = 0.0;
+  double lift = 0.0;
+};
+
+// Statistics over the traditional (unconstrained) rule space. "Total rules"
+// in the paper's Fig. 5.1 is the number of rules A ⇒ B with A ∪ B ranging
+// over every frequent itemset and (A, B) over every non-trivial bipartition
+// — 2^|S| − 2 per itemset S — subject to a minimum confidence. Counting
+// materializes nothing; subset supports come from the mined result (every
+// subset of a frequent itemset is frequent, hence present).
+struct RuleSpaceCount {
+  uint64_t total_rules = 0;          // all bipartition rules passing min_conf
+  uint64_t itemsets_considered = 0;  // itemsets of size >= 2
+};
+
+RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
+                                      double min_confidence);
+
+// Materializes every bipartition rule passing `min_confidence`, up to
+// `max_rules` (guards against the exponential blow-up the paper warns
+// about). `n` is the transaction count, used for lift.
+std::vector<AssociationRule> GenerateAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence, size_t n,
+    size_t max_rules);
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_RULES_H_

@@ -1,0 +1,69 @@
+#include "mining/transaction_db.h"
+
+#include <algorithm>
+
+namespace maras::mining {
+
+const std::vector<TransactionId> TransactionDatabase::kEmptyTidList = {};
+
+TransactionId TransactionDatabase::Add(Itemset transaction) {
+  Itemset t = MakeItemset(std::move(transaction));
+  TransactionId tid = static_cast<TransactionId>(transactions_.size());
+  for (ItemId item : t) {
+    tidlists_[item].push_back(tid);  // tids are appended in order
+  }
+  transactions_.push_back(std::move(t));
+  return tid;
+}
+
+size_t TransactionDatabase::Support(const Itemset& s) const {
+  if (s.empty()) return transactions_.size();
+  if (s.size() == 1) return ItemSupport(s[0]);
+  return ContainingTransactions(s).size();
+}
+
+std::vector<TransactionId> TransactionDatabase::ContainingTransactions(
+    const Itemset& s) const {
+  std::vector<TransactionId> result;
+  if (s.empty()) {
+    result.resize(transactions_.size());
+    for (size_t i = 0; i < result.size(); ++i) {
+      result[i] = static_cast<TransactionId>(i);
+    }
+    return result;
+  }
+  // Start from the rarest item's tid list to keep intersections small.
+  size_t start = 0;
+  size_t best = SIZE_MAX;
+  for (size_t i = 0; i < s.size(); ++i) {
+    size_t sup = ItemSupport(s[i]);
+    if (sup < best) {
+      best = sup;
+      start = i;
+    }
+  }
+  result = TidList(s[start]);
+  for (size_t i = 0; i < s.size() && !result.empty(); ++i) {
+    if (i == start) continue;
+    const auto& other = TidList(s[i]);
+    std::vector<TransactionId> merged;
+    merged.reserve(std::min(result.size(), other.size()));
+    std::set_intersection(result.begin(), result.end(), other.begin(),
+                          other.end(), std::back_inserter(merged));
+    result = std::move(merged);
+  }
+  return result;
+}
+
+size_t TransactionDatabase::ItemSupport(ItemId item) const {
+  auto it = tidlists_.find(item);
+  return it == tidlists_.end() ? 0 : it->second.size();
+}
+
+const std::vector<TransactionId>& TransactionDatabase::TidList(
+    ItemId item) const {
+  auto it = tidlists_.find(item);
+  return it == tidlists_.end() ? kEmptyTidList : it->second;
+}
+
+}  // namespace maras::mining

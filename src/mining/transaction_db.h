@@ -1,0 +1,59 @@
+#ifndef MARAS_MINING_TRANSACTION_DB_H_
+#define MARAS_MINING_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace maras::mining {
+
+using TransactionId = uint32_t;
+
+// A transaction database: each transaction is a sorted itemset (for MARAS,
+// one abstracted ADR report = drugs taken ∪ ADRs observed). Alongside the
+// horizontal layout it maintains a vertical index (item -> sorted tid list)
+// so the support of an arbitrary itemset can be counted exactly by tid-list
+// intersection — the paper's contextual rules need supports for antecedent
+// subsets that may fall below the mining threshold.
+class TransactionDatabase {
+ public:
+  TransactionDatabase() = default;
+
+  // Adds a transaction (deduplicated and sorted internally). Returns its id.
+  TransactionId Add(Itemset transaction);
+
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  const Itemset& transaction(TransactionId tid) const {
+    return transactions_[tid];
+  }
+  const std::vector<Itemset>& transactions() const { return transactions_; }
+
+  // Number of distinct items seen.
+  size_t item_count() const { return tidlists_.size(); }
+
+  // Support (number of containing transactions) of an itemset. Empty itemset
+  // has support == size().
+  size_t Support(const Itemset& s) const;
+
+  // Ids of the transactions containing `s`, in increasing order.
+  std::vector<TransactionId> ContainingTransactions(const Itemset& s) const;
+
+  // Support of a single item (0 when never seen).
+  size_t ItemSupport(ItemId item) const;
+
+  // Sorted tid list of `item` (empty when never seen).
+  const std::vector<TransactionId>& TidList(ItemId item) const;
+
+ private:
+  std::vector<Itemset> transactions_;
+  std::unordered_map<ItemId, std::vector<TransactionId>> tidlists_;
+  static const std::vector<TransactionId> kEmptyTidList;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_TRANSACTION_DB_H_

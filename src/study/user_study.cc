@@ -1,0 +1,186 @@
+#include "study/user_study.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace maras::study {
+
+namespace {
+
+// Applies Gaussian perception noise to every displayed value of a spec and
+// returns the participant's perceived exclusiveness score.
+double PerceivedScore(const viz::GlyphSpec& spec, double noise,
+                      const core::ExclusivenessOptions& scoring,
+                      maras::Rng* rng) {
+  auto perceive = [&](double v) {
+    double p = v + rng->Gaussian() * noise;
+    return std::clamp(p, 0.0, 1.0);
+  };
+  double target = perceive(spec.target_value);
+  std::vector<std::vector<double>> levels;
+  levels.reserve(spec.levels.size());
+  for (const auto& level : spec.levels) {
+    std::vector<double> perceived;
+    perceived.reserve(level.size());
+    for (double v : level) perceived.push_back(perceive(v));
+    levels.push_back(std::move(perceived));
+  }
+  return core::ExclusivenessFromValues(target, levels, scoring);
+}
+
+}  // namespace
+
+size_t UserStudySimulator::IntegrationElements(const viz::GlyphSpec& spec,
+                                               VisualEncoding encoding) {
+  if (encoding == VisualEncoding::kBarChart) {
+    // Every bar must be scanned: the target plus each contextual rule.
+    size_t bars = 1;
+    for (const auto& level : spec.levels) bars += level.size();
+    return bars;
+  }
+  // Glyph: holistic read per cardinality ring.
+  return spec.levels.size() + 1;
+}
+
+double UserStudySimulator::DecisionSeconds(const StudyQuestion& question,
+                                            VisualEncoding encoding) {
+  // Orientation cost per candidate plus a read cost per integrated value.
+  constexpr double kOrientSeconds = 1.2;
+  constexpr double kPerValueSeconds = 0.45;
+  double seconds = 0.0;
+  for (const viz::GlyphSpec& spec : question.candidates) {
+    seconds += kOrientSeconds +
+               kPerValueSeconds *
+                   static_cast<double>(IntegrationElements(spec, encoding));
+  }
+  return seconds;
+}
+
+bool UserStudySimulator::AnswerQuestion(const StudyQuestion& question,
+                                        VisualEncoding encoding,
+                                        maras::Rng* rng) const {
+  const EncodingModel& model = encoding == VisualEncoding::kBarChart
+                                   ? config_.barchart
+                                   : config_.glyph;
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(question.candidates.size());
+  for (size_t i = 0; i < question.candidates.size(); ++i) {
+    const viz::GlyphSpec& spec = question.candidates[i];
+    double noise =
+        model.base_noise +
+        model.per_element_noise *
+            static_cast<double>(IntegrationElements(spec, encoding));
+    scored.emplace_back(
+        PerceivedScore(spec, noise, config_.scoring, rng), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t k = question.correct_indices.size();
+  std::vector<size_t> picks;
+  for (size_t i = 0; i < k && i < scored.size(); ++i) {
+    picks.push_back(scored[i].second);
+  }
+  std::sort(picks.begin(), picks.end());
+  std::vector<size_t> expected = question.correct_indices;
+  std::sort(expected.begin(), expected.end());
+  return picks == expected;
+}
+
+StudyOutcome UserStudySimulator::Run(
+    const std::vector<StudyQuestion>& questions) const {
+  StudyOutcome outcome;
+  maras::Rng rng(config_.seed);
+  for (const StudyQuestion& question : questions) {
+    QuestionOutcome q;
+    q.name = question.name;
+    q.drugs_per_rule = question.drugs_per_rule;
+    size_t glyph_correct = 0;
+    size_t bar_correct = 0;
+    for (size_t p = 0; p < config_.participants; ++p) {
+      if (AnswerQuestion(question, VisualEncoding::kContextualGlyph, &rng)) {
+        ++glyph_correct;
+      }
+      if (AnswerQuestion(question, VisualEncoding::kBarChart, &rng)) {
+        ++bar_correct;
+      }
+    }
+    const double denom = static_cast<double>(config_.participants);
+    q.glyph_accuracy = static_cast<double>(glyph_correct) / denom;
+    q.barchart_accuracy = static_cast<double>(bar_correct) / denom;
+    q.glyph_seconds =
+        DecisionSeconds(question, VisualEncoding::kContextualGlyph);
+    q.barchart_seconds =
+        DecisionSeconds(question, VisualEncoding::kBarChart);
+    outcome.questions.push_back(std::move(q));
+  }
+  return outcome;
+}
+
+double StudyOutcome::AccuracyForSize(size_t drugs,
+                                     VisualEncoding encoding) const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const QuestionOutcome& q : questions) {
+    if (q.drugs_per_rule != drugs) continue;
+    sum += encoding == VisualEncoding::kBarChart ? q.barchart_accuracy
+                                                 : q.glyph_accuracy;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double StudyOutcome::MeanSeconds(VisualEncoding encoding) const {
+  if (questions.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QuestionOutcome& q : questions) {
+    sum += encoding == VisualEncoding::kBarChart ? q.barchart_seconds
+                                                 : q.glyph_seconds;
+  }
+  return sum / static_cast<double>(questions.size());
+}
+
+std::vector<StudyQuestion> BuildQuestions(
+    const std::vector<core::RankedMcac>& ranked,
+    const mining::ItemDictionary& items, size_t decoys, uint64_t seed) {
+  // Pool the ranked clusters by antecedent size, preserving rank order.
+  std::map<size_t, std::vector<const core::RankedMcac*>> by_size;
+  for (const core::RankedMcac& r : ranked) {
+    by_size[r.mcac.target.drugs.size()].push_back(&r);
+  }
+  std::vector<StudyQuestion> questions;
+  maras::Rng rng(seed);
+  for (const auto& [size, pool] : by_size) {
+    if (pool.size() < 3) continue;
+    const size_t n_decoys = std::min(decoys, pool.size() - 1);
+    StudyQuestion question;
+    question.drugs_per_rule = size;
+    question.name =
+        "top-" + std::to_string(size) + "-drug cluster among " +
+        std::to_string(n_decoys + 1);
+    // Correct answer: the top-ranked cluster. Decoys fan out over the
+    // ranking, starting with the runner-up (hardest) down to the bottom.
+    std::vector<const core::RankedMcac*> chosen;
+    chosen.push_back(pool.front());
+    for (size_t i = 0; i < n_decoys; ++i) {
+      size_t idx =
+          n_decoys == 1
+              ? pool.size() - 1
+              : 1 + (i * (pool.size() - 2)) / (n_decoys - 1);
+      chosen.push_back(pool[idx]);
+    }
+    // Shuffle presentation order deterministically.
+    std::vector<size_t> order(chosen.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const core::RankedMcac* r = chosen[order[pos]];
+      question.candidates.push_back(viz::GlyphSpecFromMcac(r->mcac, items));
+      if (order[pos] == 0) question.correct_indices.push_back(pos);
+    }
+    questions.push_back(std::move(question));
+  }
+  return questions;
+}
+
+}  // namespace maras::study

@@ -1,0 +1,88 @@
+#include "text/normalizer.h"
+
+#include <array>
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace maras::text {
+
+namespace {
+
+constexpr std::array<std::string_view, 18> kFormTokens = {
+    "TABLET",   "TABLETS", "TAB",      "CAPSULE",  "CAPSULES", "CAP",
+    "INJECTION", "INJ",    "SOLUTION", "SYRUP",    "CREAM",    "OINTMENT",
+    "PATCH",    "SPRAY",   "DROPS",    "SUSPENSION", "UNKNOWN", "NOS",
+};
+
+// "10MG", "0.5ML", "250MCG", "100 MG" (as a single token "100MG"), "5%", ...
+bool LooksLikeDoseToken(std::string_view token) {
+  size_t i = 0;
+  bool saw_digit = false;
+  while (i < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[i])) ||
+          token[i] == '.')) {
+    saw_digit = saw_digit || std::isdigit(static_cast<unsigned char>(token[i]));
+    ++i;
+  }
+  if (!saw_digit) return false;
+  std::string_view unit = token.substr(i);
+  return unit.empty() || unit == "MG" || unit == "MCG" || unit == "G" ||
+         unit == "ML" || unit == "L" || unit == "%" || unit == "IU" ||
+         unit == "UNITS";
+}
+
+}  // namespace
+
+bool IsDoseOrFormToken(std::string_view token) {
+  if (LooksLikeDoseToken(token)) return true;
+  for (std::string_view form : kFormTokens) {
+    if (token == form) return true;
+  }
+  return false;
+}
+
+std::string NormalizeName(std::string_view raw,
+                          const NormalizerOptions& options) {
+  std::string s(maras::StripWhitespace(raw));
+  if (options.uppercase) s = maras::ToUpperAscii(s);
+  if (options.strip_punctuation) {
+    for (char& c : s) {
+      switch (c) {
+        case '-':
+        case '_':
+        case '/':
+        case ',':
+        case ';':
+        case ':':
+        case '(':
+        case ')':
+        case '[':
+        case ']':
+        case '.':
+        case '*':
+          c = ' ';
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  if (options.collapse_whitespace || options.strip_punctuation) {
+    s = maras::CollapseWhitespace(s);
+  }
+  if (options.strip_dose_tokens) {
+    std::vector<std::string> tokens = maras::Split(s, ' ');
+    // Drop dose/form tokens, but never empty the name entirely.
+    std::vector<std::string> kept;
+    for (auto& t : tokens) {
+      if (t.empty()) continue;
+      if (!IsDoseOrFormToken(t)) kept.push_back(std::move(t));
+    }
+    if (!kept.empty()) s = maras::Join(kept, ' ');
+  }
+  return s;
+}
+
+}  // namespace maras::text

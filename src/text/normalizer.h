@@ -1,0 +1,32 @@
+#ifndef MARAS_TEXT_NORMALIZER_H_
+#define MARAS_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace maras::text {
+
+// Options controlling drug/ADR name normalization. Defaults match the
+// cleaning the paper applies to FAERS drug names (Section 5.2): uppercase,
+// strip punctuation and dose decorations, collapse whitespace.
+struct NormalizerOptions {
+  bool uppercase = true;
+  // Replace '-', '_', '/', ',' and similar separators with a space.
+  bool strip_punctuation = true;
+  // Remove trailing dosage/form decorations such as "10MG", "TABLET(S)",
+  // "CAPSULE", "(UNKNOWN)" that FAERS drug strings carry.
+  bool strip_dose_tokens = true;
+  bool collapse_whitespace = true;
+};
+
+// Canonicalizes a raw verbatim name. Pure function of (input, options).
+std::string NormalizeName(std::string_view raw,
+                          const NormalizerOptions& options = {});
+
+// True when `token` looks like a dosage or form token ("10MG", "0.5ML",
+// "TABLET", "CAPSULES", "INJECTION", ...).
+bool IsDoseOrFormToken(std::string_view token);
+
+}  // namespace maras::text
+
+#endif  // MARAS_TEXT_NORMALIZER_H_

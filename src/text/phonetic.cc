@@ -1,0 +1,81 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace maras::text {
+
+namespace {
+
+// Soundex digit class of an uppercase letter; '0' marks vowels/ignored
+// letters (A E I O U Y H W).
+char DigitOf(char c) {
+  switch (c) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsSeparatorLetter(char c) { return c == 'H' || c == 'W'; }
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  // Collect uppercase letters only.
+  std::string letters;
+  for (char c : name) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  if (letters.empty()) return "";
+
+  std::string code(1, letters[0]);
+  char previous_digit = DigitOf(letters[0]);
+  for (size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    char c = letters[i];
+    char digit = DigitOf(c);
+    if (digit == '0') {
+      // H and W are transparent (the previous digit survives across them);
+      // vowels reset the run so a repeated class re-emits.
+      if (!IsSeparatorLetter(c)) previous_digit = '0';
+      continue;
+    }
+    if (digit != previous_digit) {
+      code += digit;
+    }
+    previous_digit = digit;
+  }
+  code.append(4 - code.size(), '0');
+  return code;
+}
+
+bool SoundsAlike(std::string_view a, std::string_view b) {
+  std::string ca = Soundex(a);
+  return !ca.empty() && ca == Soundex(b);
+}
+
+}  // namespace maras::text

@@ -1,0 +1,26 @@
+#ifndef MARAS_TEXT_PHONETIC_H_
+#define MARAS_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace maras::text {
+
+// Phonetic encoding for drug-name matching. Regulators screen for
+// sound-alike drug-name confusion (FDA's POCA system); in report cleaning a
+// phonetic match catches misspellings that edit distance misses because the
+// reporter spelled the *sound* ("ZANTACK", "SELEBREX"). Classic American
+// Soundex over the letters of the name: first letter kept, subsequent
+// consonants mapped to digit classes, vowels dropped, runs collapsed,
+// padded/truncated to four characters ("ROBERT" -> "R163").
+//
+// Non-alphabetic characters are ignored; an input without any letters
+// encodes to the empty string.
+std::string Soundex(std::string_view name);
+
+// True when both names are non-empty-encoding and encode identically.
+bool SoundsAlike(std::string_view a, std::string_view b);
+
+}  // namespace maras::text
+
+#endif  // MARAS_TEXT_PHONETIC_H_

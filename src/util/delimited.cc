@@ -1,0 +1,104 @@
+#include "util/delimited.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace maras {
+
+int DelimitedTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<DelimitedTable> DelimitedReader::ParseString(
+    const std::string& content) const {
+  DelimitedTable table;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    std::string_view line;
+    if (eol == std::string::npos) {
+      if (pos == content.size()) break;
+      line = std::string_view(content).substr(pos);
+      pos = content.size() + 1;
+    } else {
+      line = std::string_view(content).substr(pos, eol - pos);
+      pos = eol + 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_no;
+    if (line.empty()) continue;  // skip blank lines
+    std::vector<std::string> fields = Split(line, delim_);
+    if (line_no == 1) {
+      table.header = std::move(fields);
+    } else {
+      if (fields.size() != table.header.size()) {
+        return Status::Corruption(
+            "row " + std::to_string(line_no) + " has " +
+            std::to_string(fields.size()) + " fields, expected " +
+            std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (table.header.empty()) {
+    return Status::Corruption("missing header row");
+  }
+  return table;
+}
+
+StatusOr<DelimitedTable> DelimitedReader::ReadFile(
+    const std::string& path) const {
+  MARAS_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  return ParseString(content);
+}
+
+StatusOr<std::string> DelimitedWriter::ToString(
+    const DelimitedTable& table) const {
+  if (table.header.empty()) {
+    return Status::InvalidArgument("table has no header");
+  }
+  std::string out = Join(table.header, delim_);
+  out += '\n';
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    if (table.rows[i].size() != table.header.size()) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " width mismatch");
+    }
+    out += Join(table.rows[i], delim_);
+    out += '\n';
+  }
+  return out;
+}
+
+Status DelimitedWriter::WriteFile(const std::string& path,
+                                  const DelimitedTable& table) const {
+  MARAS_ASSIGN_OR_RETURN(std::string content, ToString(table));
+  return WriteStringToFile(path, content);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace maras

@@ -1,0 +1,60 @@
+#ifndef MARAS_UTIL_DELIMITED_H_
+#define MARAS_UTIL_DELIMITED_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace maras {
+
+// A parsed delimited-text table: a header row plus data rows. FAERS quarterly
+// extracts are '$'-delimited ASCII files with one header line; this reader is
+// also used (with ',') for the small vocabulary files shipped with examples.
+struct DelimitedTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Index of `column` in the header, or -1 when absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+class DelimitedReader {
+ public:
+  explicit DelimitedReader(char delim) : delim_(delim) {}
+
+  // Parses an in-memory buffer. Every row must have the same number of
+  // fields as the header; a short/long row yields Corruption.
+  StatusOr<DelimitedTable> ParseString(const std::string& content) const;
+
+  // Reads and parses a file from disk.
+  StatusOr<DelimitedTable> ReadFile(const std::string& path) const;
+
+ private:
+  char delim_;
+};
+
+class DelimitedWriter {
+ public:
+  explicit DelimitedWriter(char delim) : delim_(delim) {}
+
+  // Serializes the table; rows must match the header width.
+  StatusOr<std::string> ToString(const DelimitedTable& table) const;
+
+  Status WriteFile(const std::string& path,
+                   const DelimitedTable& table) const;
+
+ private:
+  char delim_;
+};
+
+// Reads an entire file into memory.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_DELIMITED_H_

@@ -1,0 +1,106 @@
+#ifndef MARAS_UTIL_STATUS_H_
+#define MARAS_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace maras {
+
+// A Status encapsulates the result of an operation. It may indicate success,
+// or it may indicate an error with an associated error message. No exceptions
+// cross public API boundaries in this library; fallible operations return
+// Status or StatusOr<T>.
+//
+// Idiom (RocksDB/Arrow style):
+//   Status s = DoSomething();
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kOutOfRange = 5,
+    kAlreadyExists = 6,
+    kFailedPrecondition = 7,
+    kInternal = 8,
+  };
+
+  // Success status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable representation, e.g. "InvalidArgument: empty file name".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  Code code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define MARAS_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::maras::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_STATUS_H_

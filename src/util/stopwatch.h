@@ -1,0 +1,28 @@
+#ifndef MARAS_UTIL_STOPWATCH_H_
+#define MARAS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace maras {
+
+// Wall-clock stopwatch for coarse phase timing in benches and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_STOPWATCH_H_

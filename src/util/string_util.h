@@ -1,0 +1,40 @@
+#ifndef MARAS_UTIL_STRING_UTIL_H_
+#define MARAS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maras {
+
+// Splits `input` on `delim`, keeping empty fields (so the field count of a
+// delimited record is stable even with trailing delimiters).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+// Joins `parts` with `delim` between each element.
+std::string Join(const std::vector<std::string>& parts, char delim);
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// ASCII-only case conversions (FAERS content is ASCII).
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Collapses runs of whitespace to a single space character.
+std::string CollapseWhitespace(std::string_view s);
+
+// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+// Formats an integer with thousands separators, e.g. 126755 -> "126,755".
+std::string FormatWithCommas(long long value);
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,162 @@
+#include "viz/barchart.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "viz/color.h"
+
+namespace maras::viz {
+
+namespace {
+
+constexpr double kMarginLeft = 48.0;
+constexpr double kMarginBottom = 36.0;
+constexpr double kMarginTop = 28.0;
+constexpr double kMarginRight = 12.0;
+
+void DrawAxes(SvgDocument* doc, double width, double height, double max_value,
+              const std::string& y_label) {
+  SvgDocument::Style axis;
+  axis.stroke = AxisColor().ToHex();
+  axis.stroke_width = 1.0;
+  const double x0 = kMarginLeft;
+  const double y0 = height - kMarginBottom;
+  doc->Line(x0, kMarginTop, x0, y0, axis);
+  doc->Line(x0, y0, width - kMarginRight, y0, axis);
+
+  SvgDocument::TextStyle tick;
+  tick.font_size = 9.0;
+  tick.anchor = "end";
+  SvgDocument::Style grid;
+  grid.stroke = "#DDDDDD";
+  grid.stroke_width = 0.5;
+  for (int i = 0; i <= 4; ++i) {
+    double frac = static_cast<double>(i) / 4.0;
+    double y = y0 - frac * (y0 - kMarginTop);
+    doc->Line(x0, y, width - kMarginRight, y, grid);
+    doc->Text(x0 - 4.0, y + 3.0, maras::FormatDouble(frac * max_value, 2),
+              tick);
+  }
+  SvgDocument::TextStyle label;
+  label.font_size = 10.0;
+  label.anchor = "middle";
+  doc->Text(14.0, kMarginTop - 8.0, y_label, label);
+}
+
+}  // namespace
+
+SvgDocument BarChartRenderer::Render(const GlyphSpec& spec) const {
+  SvgDocument doc(options_.width, options_.height);
+  DrawAxes(&doc, options_.width, options_.height, options_.max_value,
+           options_.y_label);
+
+  size_t total_bars = 1;  // target
+  for (const auto& level : spec.levels) total_bars += level.size();
+
+  const double plot_w = options_.width - kMarginLeft - kMarginRight;
+  const double y0 = options_.height - kMarginBottom;
+  const double plot_h = y0 - kMarginTop;
+  const double slot = plot_w / static_cast<double>(total_bars);
+  const double bar_w = slot * 0.7;
+
+  auto draw_bar = [&](size_t index, double value, const Color& color) {
+    double clamped = std::clamp(value / options_.max_value, 0.0, 1.0);
+    double h = clamped * plot_h;
+    double x = kMarginLeft + slot * static_cast<double>(index) +
+               (slot - bar_w) / 2.0;
+    SvgDocument::Style style;
+    style.fill = color.ToHex();
+    doc.Rect(x, y0 - h, bar_w, h, style);
+    if (options_.show_values) {
+      SvgDocument::TextStyle vt;
+      vt.font_size = 8.0;
+      vt.anchor = "middle";
+      doc.Text(x + bar_w / 2.0, y0 - h - 3.0, maras::FormatDouble(value, 2),
+               vt);
+    }
+  };
+
+  size_t index = 0;
+  draw_bar(index++, spec.target_value, TargetRuleColor());
+  for (size_t level_idx = 0; level_idx < spec.levels.size(); ++level_idx) {
+    Color color = LevelColor(level_idx + 1, spec.levels.size());
+    for (double value : spec.levels[level_idx]) {
+      draw_bar(index++, value, color);
+    }
+  }
+
+  if (!spec.title.empty()) {
+    SvgDocument::TextStyle title;
+    title.font_size = 11.0;
+    title.anchor = "middle";
+    title.bold = true;
+    doc.Text(options_.width / 2.0, options_.height - 8.0, spec.title, title);
+  }
+  return doc;
+}
+
+SvgDocument BarChartRenderer::RenderGrouped(
+    const std::vector<std::string>& categories,
+    const std::vector<Series>& series, const std::string& title) const {
+  SvgDocument doc(options_.width, options_.height);
+  DrawAxes(&doc, options_.width, options_.height, options_.max_value,
+           options_.y_label);
+
+  const double plot_w = options_.width - kMarginLeft - kMarginRight;
+  const double y0 = options_.height - kMarginBottom;
+  const double plot_h = y0 - kMarginTop;
+  const size_t n_cat = categories.size();
+  const size_t n_ser = series.size();
+  if (n_cat == 0 || n_ser == 0) return doc;
+  const double group_w = plot_w / static_cast<double>(n_cat);
+  const double bar_w = group_w * 0.8 / static_cast<double>(n_ser);
+
+  for (size_t s = 0; s < n_ser; ++s) {
+    // Alternate the target color and level colors for series identity.
+    Color color = (s == 0) ? TargetRuleColor()
+                           : LevelColor(s, std::max<size_t>(n_ser - 1, 1));
+    for (size_t c = 0; c < n_cat && c < series[s].values.size(); ++c) {
+      double value = series[s].values[c];
+      double clamped = std::clamp(value / options_.max_value, 0.0, 1.0);
+      double h = clamped * plot_h;
+      double x = kMarginLeft + group_w * static_cast<double>(c) +
+                 group_w * 0.1 + bar_w * static_cast<double>(s);
+      SvgDocument::Style style;
+      style.fill = color.ToHex();
+      doc.Rect(x, y0 - h, bar_w, h, style);
+      if (options_.show_values) {
+        SvgDocument::TextStyle vt;
+        vt.font_size = 8.0;
+        vt.anchor = "middle";
+        doc.Text(x + bar_w / 2.0, y0 - h - 3.0,
+                 maras::FormatDouble(value, 1), vt);
+      }
+    }
+    // Legend entry.
+    SvgDocument::Style chip;
+    chip.fill = color.ToHex();
+    double lx = kMarginLeft + 8.0 + static_cast<double>(s) * 130.0;
+    doc.Rect(lx, 8.0, 10.0, 10.0, chip);
+    SvgDocument::TextStyle lt;
+    lt.font_size = 10.0;
+    doc.Text(lx + 14.0, 17.0, series[s].name, lt);
+  }
+
+  SvgDocument::TextStyle cat;
+  cat.font_size = 10.0;
+  cat.anchor = "middle";
+  for (size_t c = 0; c < n_cat; ++c) {
+    double x = kMarginLeft + group_w * (static_cast<double>(c) + 0.5);
+    doc.Text(x, y0 + 16.0, categories[c], cat);
+  }
+  if (!title.empty()) {
+    SvgDocument::TextStyle tt;
+    tt.font_size = 11.0;
+    tt.anchor = "middle";
+    tt.bold = true;
+    doc.Text(options_.width / 2.0, options_.height - 6.0, title, tt);
+  }
+  return doc;
+}
+
+}  // namespace maras::viz

@@ -1,0 +1,49 @@
+#ifndef MARAS_VIZ_BARCHART_H_
+#define MARAS_VIZ_BARCHART_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/glyph.h"
+#include "viz/svg.h"
+
+namespace maras::viz {
+
+// The baseline MCAC visualization the user study compares against
+// (Fig. 5.3): a grouped bar chart with one bar per rule — the target rule
+// first, then every contextual rule grouped by cardinality level — bar
+// height encoding the measure value.
+struct BarChartOptions {
+  double width = 420.0;
+  double height = 240.0;
+  double max_value = 1.0;  // y-axis top (1.0 for confidence)
+  std::string y_label = "confidence";
+  bool show_values = false;
+};
+
+class BarChartRenderer {
+ public:
+  explicit BarChartRenderer(BarChartOptions options = {})
+      : options_(options) {}
+
+  // Renders the same GlyphSpec a Contextual Glyph displays; the two views
+  // are information-equivalent by construction (user-study requirement).
+  SvgDocument Render(const GlyphSpec& spec) const;
+
+  // A simple generic grouped series chart, used for Fig. 5.2 (user-study
+  // accuracy) and other experiment figures.
+  struct Series {
+    std::string name;
+    std::vector<double> values;  // one per category
+  };
+  SvgDocument RenderGrouped(const std::vector<std::string>& categories,
+                            const std::vector<Series>& series,
+                            const std::string& title) const;
+
+ private:
+  BarChartOptions options_;
+};
+
+}  // namespace maras::viz
+
+#endif  // MARAS_VIZ_BARCHART_H_

@@ -1,0 +1,179 @@
+#include "viz/glyph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "viz/color.h"
+
+namespace maras::viz {
+
+namespace {
+
+// Converts a clock angle (0 = 12 o'clock, clockwise positive, radians) to
+// SVG coordinates on a circle of radius r.
+void ClockPoint(double cx, double cy, double r, double angle, double* x,
+                double* y) {
+  *x = cx + r * std::sin(angle);
+  *y = cy - r * std::cos(angle);
+}
+
+double ClampValue(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+GlyphSpec GlyphSpecFromMcac(const core::Mcac& mcac,
+                            const mining::ItemDictionary& items) {
+  GlyphSpec spec;
+  spec.target_value = mcac.target.confidence;
+  spec.title = core::RuleToString(mcac.target, items);
+  for (const auto& level : mcac.levels) {
+    std::vector<double> values;
+    values.reserve(level.size());
+    for (const core::DrugAdrRule& rule : level) {
+      values.push_back(rule.confidence);
+      spec.sector_labels.push_back(items.Render(rule.drugs));
+    }
+    spec.levels.push_back(std::move(values));
+  }
+  return spec;
+}
+
+std::string AnnularSectorPath(double cx, double cy, double r0, double r1,
+                              double a0, double a1) {
+  double x0o, y0o, x1o, y1o, x0i, y0i, x1i, y1i;
+  ClockPoint(cx, cy, r1, a0, &x0o, &y0o);
+  ClockPoint(cx, cy, r1, a1, &x1o, &y1o);
+  ClockPoint(cx, cy, r0, a1, &x1i, &y1i);
+  ClockPoint(cx, cy, r0, a0, &x0i, &y0i);
+  const int large_arc = (a1 - a0) > M_PI ? 1 : 0;
+  auto n = [](double v) { return maras::FormatDouble(v, 2); };
+  std::string d;
+  d += "M " + n(x0o) + " " + n(y0o);
+  d += " A " + n(r1) + " " + n(r1) + " 0 " + std::to_string(large_arc) +
+       " 1 " + n(x1o) + " " + n(y1o);
+  d += " L " + n(x1i) + " " + n(y1i);
+  d += " A " + n(r0) + " " + n(r0) + " 0 " + std::to_string(large_arc) +
+       " 0 " + n(x0i) + " " + n(y0i);
+  d += " Z";
+  return d;
+}
+
+void ContextualGlyphRenderer::Draw(SvgDocument* doc, double cx, double cy,
+                                   const GlyphSpec& spec) const {
+  const GlyphGeometry& g = geometry_;
+  const size_t max_level = spec.levels.size();
+
+  // Count sectors for the uniform angular layout.
+  size_t total = 0;
+  for (const auto& level : spec.levels) total += level.size();
+
+  if (total > 0) {
+    const double gap = g.sector_gap_degrees * M_PI / 180.0;
+    const double span = (2.0 * M_PI) / static_cast<double>(total);
+    size_t index = 0;
+    for (size_t level_idx = 0; level_idx < spec.levels.size(); ++level_idx) {
+      Color color = LevelColor(level_idx + 1, max_level);
+      for (double value : spec.levels[level_idx]) {
+        const double a0 = span * static_cast<double>(index) + gap / 2.0;
+        const double a1 = span * static_cast<double>(index + 1) - gap / 2.0;
+        const double r1 =
+            g.radius_sector_base +
+            ClampValue(value) * (g.radius_sector_max - g.radius_sector_base);
+        SvgDocument::Style style;
+        style.fill = color.ToHex();
+        style.stroke = "#FFFFFF";
+        style.stroke_width = 0.5;
+        if (r1 > g.radius_sector_base + 0.01) {
+          doc->Path(AnnularSectorPath(cx, cy, g.radius_sector_base, r1, a0,
+                                      a1),
+                    style);
+        } else {
+          // Zero-confidence context: draw a hairline arc so the sector's
+          // existence stays visible.
+          doc->Path(AnnularSectorPath(cx, cy, g.radius_sector_base,
+                                      g.radius_sector_base + 1.0, a0, a1),
+                    style);
+        }
+        ++index;
+      }
+    }
+  }
+
+  // Inner circle (target rule) on top.
+  const double r_inner =
+      g.radius_inner_min +
+      ClampValue(spec.target_value) * (g.radius_inner_max - g.radius_inner_min);
+  SvgDocument::Style inner;
+  inner.fill = TargetRuleColor().ToHex();
+  inner.stroke = "#FFFFFF";
+  inner.stroke_width = 1.0;
+  doc->Circle(cx, cy, r_inner, inner);
+}
+
+SvgDocument ContextualGlyphRenderer::Render(const GlyphSpec& spec) const {
+  const double size = geometry_.radius_sector_max * 2.0 + 30.0;
+  SvgDocument doc(size, size + 20.0);
+  Draw(&doc, size / 2.0, size / 2.0, spec);
+  if (!spec.title.empty()) {
+    SvgDocument::TextStyle caption;
+    caption.font_size = 10.0;
+    caption.anchor = "middle";
+    doc.Text(size / 2.0, size + 10.0, spec.title, caption);
+  }
+  return doc;
+}
+
+SvgDocument ContextualGlyphRenderer::RenderZoom(const GlyphSpec& spec) const {
+  // Enlarged geometry plus a side legend listing each sector.
+  GlyphGeometry big = geometry_;
+  big.radius_inner_max *= 2.0;
+  big.radius_inner_min *= 2.0;
+  big.radius_sector_base *= 2.0;
+  big.radius_sector_max *= 2.0;
+  ContextualGlyphRenderer zoomed(big);
+
+  size_t total = 0;
+  for (const auto& level : spec.levels) total += level.size();
+  const double glyph_extent = big.radius_sector_max * 2.0 + 40.0;
+  const double legend_width = 360.0;
+  const double height =
+      std::max(glyph_extent + 40.0,
+               40.0 + static_cast<double>(total + 1) * 18.0);
+  SvgDocument doc(glyph_extent + legend_width, height);
+  zoomed.Draw(&doc, glyph_extent / 2.0, glyph_extent / 2.0, spec);
+
+  SvgDocument::TextStyle heading;
+  heading.font_size = 13.0;
+  heading.bold = true;
+  doc.Text(glyph_extent, 24.0, spec.title.empty() ? "Rule cluster" : spec.title,
+           heading);
+
+  SvgDocument::TextStyle row;
+  row.font_size = 11.0;
+  double y = 48.0;
+  doc.Text(glyph_extent, y,
+           "target confidence = " +
+               maras::FormatDouble(spec.target_value, 3),
+           row);
+  y += 18.0;
+  size_t flat = 0;
+  for (size_t level_idx = 0; level_idx < spec.levels.size(); ++level_idx) {
+    for (double value : spec.levels[level_idx]) {
+      std::string label = flat < spec.sector_labels.size()
+                              ? spec.sector_labels[flat]
+                              : ("context #" + std::to_string(flat + 1));
+      // Color chip for the sector's level.
+      SvgDocument::Style chip;
+      chip.fill = LevelColor(level_idx + 1, spec.levels.size()).ToHex();
+      doc.Rect(glyph_extent, y - 9.0, 10.0, 10.0, chip);
+      doc.Text(glyph_extent + 16.0, y,
+               label + "  conf = " + maras::FormatDouble(value, 3), row);
+      y += 18.0;
+      ++flat;
+    }
+  }
+  return doc;
+}
+
+}  // namespace maras::viz

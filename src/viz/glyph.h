@@ -1,0 +1,74 @@
+#ifndef MARAS_VIZ_GLYPH_H_
+#define MARAS_VIZ_GLYPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mcac.h"
+#include "mining/item_dictionary.h"
+#include "viz/svg.h"
+
+namespace maras::viz {
+
+// The data a Contextual Glyph displays (Section 4, Fig. 4.1): the target
+// rule's measure value (inner circle) and each contextual rule's value,
+// grouped by antecedent cardinality and sorted descending within a level.
+struct GlyphSpec {
+  double target_value = 0.0;                 // in [0, 1] for confidence
+  std::vector<std::vector<double>> levels;   // levels[k-1] = k-drug values
+  std::string title;                         // caption under the glyph
+  // Optional per-sector labels, flattened in layout order (level-major);
+  // used by the zoom view. Empty = unlabeled.
+  std::vector<std::string> sector_labels;
+};
+
+// Extracts a confidence-valued GlyphSpec from an MCAC, labeling each sector
+// with the context rule's drug names.
+GlyphSpec GlyphSpecFromMcac(const core::Mcac& mcac,
+                            const mining::ItemDictionary& items);
+
+struct GlyphGeometry {
+  double radius_inner_max = 34.0;  // inner circle at value 1.0
+  double radius_inner_min = 4.0;   // inner circle floor so it stays visible
+  double radius_sector_base = 40.0;  // sectors start just outside the circle
+  double radius_sector_max = 80.0;   // sector arc at value 1.0
+  double sector_gap_degrees = 2.0;
+};
+
+// Renders a Contextual Glyph: inner circle diameter encodes the target
+// value; circular sectors (one per contextual rule) start at 12 o'clock and
+// proceed clockwise ordered by cardinality then value, colored darker for
+// larger cardinality, with the arc distance encoding the rule's value.
+// "The larger the inner circle and the smaller the outer [sectors], the
+// higher the rank of the group."
+class ContextualGlyphRenderer {
+ public:
+  explicit ContextualGlyphRenderer(GlyphGeometry geometry = {})
+      : geometry_(geometry) {}
+
+  // Draws the glyph centered at (cx, cy) into an existing document.
+  void Draw(SvgDocument* doc, double cx, double cy,
+            const GlyphSpec& spec) const;
+
+  // Standalone glyph image.
+  SvgDocument Render(const GlyphSpec& spec) const;
+
+  // The zoom-in view (Fig. 4.3): the glyph enlarged, with per-sector labels
+  // and values alongside.
+  SvgDocument RenderZoom(const GlyphSpec& spec) const;
+
+  const GlyphGeometry& geometry() const { return geometry_; }
+
+ private:
+  GlyphGeometry geometry_;
+};
+
+// Builds the SVG path data for an annular sector between radii r0 < r1 and
+// angles a0 < a1 (radians, 0 = 12 o'clock, clockwise positive) around
+// (cx, cy). Exposed for tests.
+std::string AnnularSectorPath(double cx, double cy, double r0, double r1,
+                              double a0, double a1);
+
+}  // namespace maras::viz
+
+#endif  // MARAS_VIZ_GLYPH_H_

@@ -1,0 +1,142 @@
+#include "viz/linechart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "viz/color.h"
+
+namespace maras::viz {
+
+namespace {
+
+constexpr double kMarginLeft = 52.0;
+constexpr double kMarginBottom = 34.0;
+constexpr double kMarginTop = 30.0;
+constexpr double kMarginRight = 14.0;
+
+Color SeriesColor(size_t index) {
+  static const Color palette[] = {
+      {214, 96, 77},   // warm red
+      {8, 81, 156},    // blue
+      {35, 139, 69},   // green
+      {117, 107, 177}, // purple
+      {230, 151, 0},   // orange
+      {102, 102, 102}, // gray
+  };
+  return palette[index % 6];
+}
+
+}  // namespace
+
+SvgDocument LineChartRenderer::Render(
+    const std::vector<std::string>& categories,
+    const std::vector<Series>& series, const std::string& title) const {
+  SvgDocument doc(options_.width, options_.height);
+  double y_min = options_.y_min;
+  double y_max = options_.y_max;
+  if (y_max <= y_min) {
+    y_min = 0.0;
+    y_max = 0.0;
+    for (const Series& s : series) {
+      for (double v : s.values) {
+        if (std::isfinite(v)) {
+          y_max = std::max(y_max, v);
+          y_min = std::min(y_min, v);
+        }
+      }
+    }
+    if (y_max == y_min) y_max = y_min + 1.0;
+    y_max += (y_max - y_min) * 0.05;  // head room
+  }
+
+  const double x0 = kMarginLeft;
+  const double y0 = options_.height - kMarginBottom;
+  const double plot_w = options_.width - kMarginLeft - kMarginRight;
+  const double plot_h = y0 - kMarginTop;
+
+  // Axes, grid and ticks.
+  SvgDocument::Style axis;
+  axis.stroke = AxisColor().ToHex();
+  axis.stroke_width = 1.0;
+  doc.Line(x0, kMarginTop, x0, y0, axis);
+  doc.Line(x0, y0, options_.width - kMarginRight, y0, axis);
+  SvgDocument::Style grid;
+  grid.stroke = "#DDDDDD";
+  grid.stroke_width = 0.5;
+  SvgDocument::TextStyle tick;
+  tick.font_size = 9.0;
+  tick.anchor = "end";
+  for (int i = 0; i <= 4; ++i) {
+    double frac = static_cast<double>(i) / 4.0;
+    double y = y0 - frac * plot_h;
+    doc.Line(x0, y, options_.width - kMarginRight, y, grid);
+    doc.Text(x0 - 4.0, y + 3.0,
+             maras::FormatDouble(y_min + frac * (y_max - y_min), 2), tick);
+  }
+  SvgDocument::TextStyle label;
+  label.font_size = 10.0;
+  label.anchor = "middle";
+  if (!options_.y_label.empty()) {
+    doc.Text(20.0, kMarginTop - 10.0, options_.y_label, label);
+  }
+
+  const size_t n_cat = categories.size();
+  auto x_at = [&](size_t c) {
+    if (n_cat <= 1) return x0 + plot_w / 2.0;
+    return x0 + plot_w * static_cast<double>(c) /
+                    static_cast<double>(n_cat - 1);
+  };
+  auto y_at = [&](double v) {
+    double frac = (v - y_min) / (y_max - y_min);
+    return y0 - std::clamp(frac, 0.0, 1.0) * plot_h;
+  };
+
+  SvgDocument::TextStyle cat;
+  cat.font_size = 9.5;
+  cat.anchor = "middle";
+  for (size_t c = 0; c < n_cat; ++c) {
+    doc.Text(x_at(c), y0 + 14.0, categories[c], cat);
+  }
+
+  for (size_t s = 0; s < series.size(); ++s) {
+    Color color = SeriesColor(s);
+    SvgDocument::Style line;
+    line.stroke = color.ToHex();
+    line.stroke_width = 1.8;
+    // Draw segments between consecutive finite points.
+    for (size_t c = 1; c < series[s].values.size() && c < n_cat; ++c) {
+      double a = series[s].values[c - 1];
+      double b = series[s].values[c];
+      if (!std::isfinite(a) || !std::isfinite(b)) continue;
+      doc.Line(x_at(c - 1), y_at(a), x_at(c), y_at(b), line);
+    }
+    if (options_.show_markers) {
+      SvgDocument::Style marker;
+      marker.fill = color.ToHex();
+      for (size_t c = 0; c < series[s].values.size() && c < n_cat; ++c) {
+        double v = series[s].values[c];
+        if (std::isfinite(v)) doc.Circle(x_at(c), y_at(v), 2.6, marker);
+      }
+    }
+    // Legend.
+    SvgDocument::Style chip;
+    chip.fill = color.ToHex();
+    double lx = x0 + 6.0 + static_cast<double>(s) * 140.0;
+    doc.Rect(lx, 8.0, 10.0, 10.0, chip);
+    SvgDocument::TextStyle lt;
+    lt.font_size = 10.0;
+    doc.Text(lx + 14.0, 17.0, series[s].name, lt);
+  }
+
+  if (!title.empty()) {
+    SvgDocument::TextStyle tt;
+    tt.font_size = 11.0;
+    tt.anchor = "middle";
+    tt.bold = true;
+    doc.Text(options_.width / 2.0, options_.height - 6.0, title, tt);
+  }
+  return doc;
+}
+
+}  // namespace maras::viz

@@ -1,0 +1,45 @@
+#ifndef MARAS_VIZ_LINECHART_H_
+#define MARAS_VIZ_LINECHART_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/svg.h"
+
+namespace maras::viz {
+
+// Multi-series line chart used for quarter-over-quarter signal trends and
+// the log-scale rule-space figure. Categories lay out evenly on the x-axis;
+// each series draws a polyline with point markers and a legend entry.
+struct LineChartOptions {
+  double width = 460.0;
+  double height = 260.0;
+  // Y-axis bounds; when max <= min the renderer auto-scales to the data
+  // (with a 5% head-room margin).
+  double y_min = 0.0;
+  double y_max = 0.0;
+  std::string y_label;
+  bool show_markers = true;
+};
+
+class LineChartRenderer {
+ public:
+  explicit LineChartRenderer(LineChartOptions options = {})
+      : options_(options) {}
+
+  struct Series {
+    std::string name;
+    std::vector<double> values;  // one per category; NaN gaps break lines
+  };
+
+  SvgDocument Render(const std::vector<std::string>& categories,
+                     const std::vector<Series>& series,
+                     const std::string& title) const;
+
+ private:
+  LineChartOptions options_;
+};
+
+}  // namespace maras::viz
+
+#endif  // MARAS_VIZ_LINECHART_H_

@@ -1,0 +1,60 @@
+#include "viz/panorama.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "viz/color.h"
+
+namespace maras::viz {
+
+SvgDocument PanoramaRenderer::Render(const std::vector<PanoramaEntry>& entries,
+                                     const std::string& title) const {
+  const size_t columns = std::max<size_t>(options_.columns, 1);
+  const size_t rows = entries.empty() ? 1 : (entries.size() + columns - 1) / columns;
+  const double header = title.empty() ? 10.0 : 34.0;
+  const double cell = options_.cell_size;
+  SvgDocument doc(static_cast<double>(columns) * cell + 20.0,
+                  header + static_cast<double>(rows) * cell + 10.0);
+
+  if (!title.empty()) {
+    SvgDocument::TextStyle tt;
+    tt.font_size = 15.0;
+    tt.bold = true;
+    doc.Text(12.0, 22.0, title, tt);
+  }
+
+  // Scale the glyph geometry to fit the cell.
+  GlyphGeometry geom = options_.glyph;
+  const double needed = geom.radius_sector_max * 2.0 + 24.0;
+  const double scale = cell / needed;
+  geom.radius_inner_max *= scale;
+  geom.radius_inner_min *= scale;
+  geom.radius_sector_base *= scale;
+  geom.radius_sector_max *= scale;
+  ContextualGlyphRenderer renderer(geom);
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const size_t row = i / columns;
+    const size_t col = i % columns;
+    const double cx = 10.0 + (static_cast<double>(col) + 0.5) * cell;
+    const double cy = header + (static_cast<double>(row) + 0.45) * cell;
+    renderer.Draw(&doc, cx, cy, entries[i].spec);
+
+    std::string caption;
+    if (options_.show_rank) caption += "#" + std::to_string(i + 1);
+    if (options_.show_score) {
+      if (!caption.empty()) caption += "  ";
+      caption += "score " + maras::FormatDouble(entries[i].score, 3);
+    }
+    if (!caption.empty()) {
+      SvgDocument::TextStyle ct;
+      ct.font_size = 10.0;
+      ct.anchor = "middle";
+      doc.Text(cx, header + (static_cast<double>(row) + 0.97) * cell, caption,
+               ct);
+    }
+  }
+  return doc;
+}
+
+}  // namespace maras::viz

@@ -1,0 +1,43 @@
+#ifndef MARAS_VIZ_PANORAMA_H_
+#define MARAS_VIZ_PANORAMA_H_
+
+#include <string>
+#include <vector>
+
+#include "viz/glyph.h"
+#include "viz/svg.h"
+
+namespace maras::viz {
+
+// The panoramagram (Fig. 4.2): a grid of contextual glyphs laid out in rank
+// order, giving the analyst the distribution of discovered drug-ADR
+// associations over the ranking scores at a glance.
+struct PanoramaOptions {
+  size_t columns = 5;
+  double cell_size = 190.0;
+  bool show_rank = true;
+  bool show_score = true;
+  GlyphGeometry glyph;
+};
+
+struct PanoramaEntry {
+  GlyphSpec spec;
+  double score = 0.0;
+};
+
+class PanoramaRenderer {
+ public:
+  explicit PanoramaRenderer(PanoramaOptions options = {})
+      : options_(options) {}
+
+  // Entries are drawn in the order given (callers rank beforehand).
+  SvgDocument Render(const std::vector<PanoramaEntry>& entries,
+                     const std::string& title) const;
+
+ private:
+  PanoramaOptions options_;
+};
+
+}  // namespace maras::viz
+
+#endif  // MARAS_VIZ_PANORAMA_H_

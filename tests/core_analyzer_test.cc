@@ -1,0 +1,147 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/closed_itemsets.h"
+#include "test_util.h"
+
+namespace maras::core {
+namespace {
+
+using maras::test::AsthmaCorpus;
+using maras::test::MiniCorpus;
+
+AnalyzerOptions SmallOptions() {
+  AnalyzerOptions options;
+  options.mining.min_support = 2;
+  options.mining.max_itemset_size = 6;
+  return options;
+}
+
+TEST(AnalyzerTest, FindsInjectedTripleAsMcac) {
+  MiniCorpus corpus = AsthmaCorpus();
+  MarasAnalyzer analyzer(SmallOptions());
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.total_rules, result->stats.filtered_rules);
+  EXPECT_GE(result->stats.filtered_rules, result->stats.mcac_count);
+  mining::Itemset triple = corpus.Drugs({"XOLAIR", "SINGULAIR", "PREDNISONE"});
+  bool found = false;
+  for (const Mcac& mcac : result->mcacs) {
+    if (mcac.target.drugs == triple) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzerTest, EveryMcacTargetIsClosedAndMultiDrug) {
+  MiniCorpus corpus = AsthmaCorpus();
+  MarasAnalyzer analyzer(SmallOptions());
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->mcacs.size(), 0u);
+  for (const Mcac& mcac : result->mcacs) {
+    EXPECT_GE(mcac.target.drugs.size(), 2u);
+    EXPECT_GE(mcac.target.adrs.size(), 1u);
+    EXPECT_TRUE(
+        mining::IsClosedInDatabase(corpus.db, mcac.target.CompleteItemset()))
+        << RuleToString(mcac.target, corpus.items);
+    EXPECT_GE(mcac.target.support, 2u);
+  }
+}
+
+TEST(AnalyzerTest, RuleSpaceShrinksMonotonically) {
+  // Fig. 5.1's invariant: total >= filtered >= closed-mixed >= MCACs.
+  MiniCorpus corpus = AsthmaCorpus();
+  corpus.Add({{"ZANTAC", "TUMS", "MYLANTA"}, {"OSTEOPOROSIS"}}, 6);
+  corpus.Add({{"ZANTAC"}, {"OSTEOPOROSIS"}}, 12);
+  MarasAnalyzer analyzer(SmallOptions());
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats.total_rules, result->stats.filtered_rules);
+  EXPECT_GE(result->stats.filtered_rules, result->stats.closed_mixed);
+  EXPECT_GE(result->stats.closed_mixed, result->stats.mcac_count);
+  EXPECT_GT(result->stats.mcac_count, 0u);
+}
+
+TEST(AnalyzerTest, MinConfidenceFiltersTargets) {
+  MiniCorpus corpus = AsthmaCorpus();
+  // Add a weak multi-drug association (low confidence).
+  corpus.Add({{"A", "B"}, {"NAUSEA"}}, 2);
+  corpus.Add({{"A", "B"}, {"HEADACHE"}}, 18);
+  AnalyzerOptions options = SmallOptions();
+  options.min_confidence = 0.5;
+  MarasAnalyzer analyzer(options);
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  for (const Mcac& mcac : result->mcacs) {
+    EXPECT_GE(mcac.target.confidence, 0.5);
+  }
+}
+
+TEST(AnalyzerTest, MaxDrugsPerRuleSkipsWideTargets) {
+  MiniCorpus corpus;
+  corpus.Add({{"A", "B", "C", "D", "E", "F"}, {"X"}}, 4);
+  corpus.Add({{"A"}, {"Y"}}, 3);
+  AnalyzerOptions options = SmallOptions();
+  options.max_drugs_per_rule = 3;
+  options.mining.max_itemset_size = 8;
+  MarasAnalyzer analyzer(options);
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  for (const Mcac& mcac : result->mcacs) {
+    EXPECT_LE(mcac.target.drugs.size(), 3u);
+  }
+}
+
+TEST(AnalyzerTest, EmptyDatabaseIsFailedPrecondition) {
+  mining::ItemDictionary items;
+  mining::TransactionDatabase db;
+  MarasAnalyzer analyzer(SmallOptions());
+  EXPECT_TRUE(
+      analyzer.Analyze(items, db).status().IsFailedPrecondition());
+}
+
+TEST(AnalyzerTest, ExclusivenessRanksInjectedSignalAboveDecoy) {
+  MiniCorpus corpus = AsthmaCorpus();
+  // Decoy: single-drug-driven combination with equal raw confidence.
+  corpus.Add({{"ZANTAC"}, {"OSTEOPOROSIS"}}, 40);
+  corpus.Add({{"ZANTAC", "TUMS"}, {"OSTEOPOROSIS"}}, 12);
+  corpus.Add({{"TUMS"}, {"HEADACHE"}}, 8);
+  MarasAnalyzer analyzer(SmallOptions());
+  auto result = analyzer.Analyze(corpus.items, corpus.db);
+  ASSERT_TRUE(result.ok());
+  auto ranked = RankMcacs(result->mcacs,
+                          RankingMethod::kExclusivenessConfidence,
+                          analyzer.options().exclusiveness);
+  ASSERT_GE(ranked.size(), 2u);
+  mining::Itemset triple = corpus.Drugs({"XOLAIR", "SINGULAIR", "PREDNISONE"});
+  mining::Itemset decoy = corpus.Drugs({"TUMS", "ZANTAC"});
+  size_t triple_rank = ranked.size(), decoy_rank = ranked.size();
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].mcac.target.drugs == triple) {
+      triple_rank = std::min(triple_rank, i);
+    }
+    if (ranked[i].mcac.target.drugs == decoy) {
+      decoy_rank = std::min(decoy_rank, i);
+    }
+  }
+  ASSERT_LT(triple_rank, ranked.size());
+  ASSERT_LT(decoy_rank, ranked.size());
+  EXPECT_LT(triple_rank, decoy_rank);
+}
+
+TEST(SupportingReportsTest, MapsBackToPrimaryIds) {
+  MiniCorpus corpus;
+  corpus.Add({{"A", "B"}, {"X"}});      // tid 0
+  corpus.Add({{"A"}, {"Y"}});           // tid 1
+  corpus.Add({{"A", "B"}, {"X", "Y"}}); // tid 2
+  std::vector<uint64_t> primary_ids = {111, 222, 333};
+  DrugAdrRule rule;
+  rule.drugs = corpus.Drugs({"A", "B"});
+  rule.adrs = corpus.Adrs({"X"});
+  auto reports = SupportingReports(corpus.db, primary_ids, rule);
+  EXPECT_EQ(reports, (std::vector<uint64_t>{111, 333}));
+}
+
+}  // namespace
+}  // namespace maras::core

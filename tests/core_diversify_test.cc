@@ -1,0 +1,123 @@
+#include "core/diversify.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace maras::core {
+namespace {
+
+RankedMcac Make(std::vector<mining::ItemId> drugs,
+                std::vector<mining::ItemId> adrs, double score) {
+  RankedMcac entry;
+  entry.mcac.target.drugs = mining::MakeItemset(std::move(drugs));
+  entry.mcac.target.adrs = mining::MakeItemset(std::move(adrs));
+  entry.score = score;
+  return entry;
+}
+
+TEST(ClusterSimilarityTest, IdenticalIsOne) {
+  RankedMcac a = Make({1, 2}, {10}, 0.5);
+  EXPECT_DOUBLE_EQ(ClusterSimilarity(a.mcac, a.mcac), 1.0);
+}
+
+TEST(ClusterSimilarityTest, DisjointIsZero) {
+  RankedMcac a = Make({1, 2}, {10}, 0.5);
+  RankedMcac b = Make({3, 4}, {11}, 0.5);
+  EXPECT_DOUBLE_EQ(ClusterSimilarity(a.mcac, b.mcac), 0.0);
+}
+
+TEST(ClusterSimilarityTest, DrugOverlapWeighsMore) {
+  RankedMcac base = Make({1, 2}, {10}, 0.5);
+  RankedMcac same_drugs = Make({1, 2}, {11}, 0.5);   // drug Jaccard 1, ADR 0
+  RankedMcac same_adrs = Make({3, 4}, {10}, 0.5);    // drug 0, ADR 1
+  EXPECT_GT(ClusterSimilarity(base.mcac, same_drugs.mcac),
+            ClusterSimilarity(base.mcac, same_adrs.mcac));
+}
+
+std::vector<RankedMcac> RedundantPool() {
+  // One family of near-duplicates scoring highest, plus distinct clusters.
+  return {
+      Make({1, 2}, {10, 11, 12}, 0.90),
+      Make({1, 2}, {10, 11}, 0.89),
+      Make({1, 2}, {10}, 0.88),
+      Make({1, 2}, {11}, 0.87),
+      Make({3, 4}, {20}, 0.60),
+      Make({5, 6}, {21}, 0.55),
+      Make({7, 8}, {22}, 0.50),
+  };
+}
+
+TEST(DiversifyTest, PureScoreReducesToPlainTopK) {
+  auto pool = RedundantPool();
+  DiversifyOptions options;
+  options.k = 3;
+  options.lambda = 1.0;
+  auto picks = DiversifiedTopK(pool, options);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_DOUBLE_EQ(picks[0].score, 0.90);
+  EXPECT_DOUBLE_EQ(picks[1].score, 0.89);
+  EXPECT_DOUBLE_EQ(picks[2].score, 0.88);
+}
+
+TEST(DiversifyTest, DiversitySpreadsAcrossFamilies) {
+  auto pool = RedundantPool();
+  DiversifyOptions options;
+  options.k = 4;
+  // Diversity-leaning trade-off: the dominant family's high scores must not
+  // reclaim every slot.
+  options.lambda = 0.3;
+  auto picks = DiversifiedTopK(pool, options);
+  ASSERT_EQ(picks.size(), 4u);
+  // Count distinct drug families among the picks.
+  std::set<mining::Itemset> families;
+  for (const auto& pick : picks) families.insert(pick.mcac.target.drugs);
+  EXPECT_GE(families.size(), 3u);
+  // The family leader (highest score) is still picked first.
+  EXPECT_DOUBLE_EQ(picks[0].score, 0.90);
+}
+
+TEST(DiversifyTest, KLargerThanPoolReturnsAll) {
+  auto pool = RedundantPool();
+  DiversifyOptions options;
+  options.k = 100;
+  auto picks = DiversifiedTopK(pool, options);
+  EXPECT_EQ(picks.size(), pool.size());
+}
+
+TEST(DiversifyTest, EmptyPoolAndZeroK) {
+  EXPECT_TRUE(DiversifiedTopK({}, DiversifyOptions{}).empty());
+  auto pool = RedundantPool();
+  DiversifyOptions options;
+  options.k = 0;
+  EXPECT_TRUE(DiversifiedTopK(pool, options).empty());
+}
+
+TEST(DiversifyTest, NoDuplicateSelections) {
+  auto pool = RedundantPool();
+  DiversifyOptions options;
+  options.k = pool.size();
+  options.lambda = 0.3;
+  auto picks = DiversifiedTopK(pool, options);
+  std::set<double> scores;
+  for (const auto& pick : picks) scores.insert(pick.score);
+  EXPECT_EQ(scores.size(), pool.size());  // all scores distinct in pool
+}
+
+TEST(DiversifyTest, UniformScoresStillDiversify) {
+  std::vector<RankedMcac> pool = {
+      Make({1, 2}, {10}, 0.5),
+      Make({1, 2}, {11}, 0.5),
+      Make({3, 4}, {12}, 0.5),
+  };
+  DiversifyOptions options;
+  options.k = 2;
+  options.lambda = 0.5;
+  auto picks = DiversifiedTopK(pool, options);
+  ASSERT_EQ(picks.size(), 2u);
+  // Second pick avoids the same-drug near-duplicate.
+  EXPECT_EQ(picks[1].mcac.target.drugs, mining::MakeItemset({3, 4}));
+}
+
+}  // namespace
+}  // namespace maras::core

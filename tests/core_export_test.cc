@@ -1,0 +1,135 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "test_util.h"
+
+namespace maras::core {
+namespace {
+
+using maras::test::AsthmaCorpus;
+using maras::test::MiniCorpus;
+
+struct Fixture {
+  MiniCorpus corpus = AsthmaCorpus();
+  AnalysisResult analysis;
+  std::vector<RankedMcac> ranked;
+
+  Fixture() {
+    AnalyzerOptions options;
+    options.mining.min_support = 2;
+    MarasAnalyzer analyzer(options);
+    auto result = analyzer.Analyze(corpus.items, corpus.db);
+    EXPECT_TRUE(result.ok());
+    analysis = *std::move(result);
+    ranked = RankMcacs(analysis.mcacs,
+                       RankingMethod::kExclusivenessConfidence, {});
+  }
+};
+
+TEST(ExportTest, SchemaFields) {
+  Fixture f;
+  KnowledgeBase kb = CuratedKnowledgeBase();
+  json::Value doc = ExportRankedMcacs(f.ranked, f.corpus.items,
+                                      f.analysis.stats, kb);
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* stats = doc.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_NE(stats->Find("total_rules"), nullptr);
+  EXPECT_NE(stats->Find("mcac_count"), nullptr);
+  const json::Value* clusters = doc.Find("clusters");
+  ASSERT_NE(clusters, nullptr);
+  ASSERT_TRUE(clusters->is_array());
+  ASSERT_FALSE(clusters->as_array().empty());
+
+  const json::Value& first = clusters->as_array()[0];
+  EXPECT_DOUBLE_EQ(first.Find("rank")->as_number(), 1.0);
+  EXPECT_NE(first.Find("score"), nullptr);
+  const json::Value* target = first.Find("target");
+  ASSERT_NE(target, nullptr);
+  EXPECT_TRUE(target->Find("drugs")->is_array());
+  EXPECT_TRUE(target->Find("adrs")->is_array());
+  EXPECT_GE(target->Find("support")->as_number(), 2.0);
+  EXPECT_NE(first.Find("severity"), nullptr);
+  EXPECT_NE(first.Find("novelty"), nullptr);
+  EXPECT_TRUE(first.Find("context")->is_array());
+}
+
+TEST(ExportTest, RankOrderPreserved) {
+  Fixture f;
+  KnowledgeBase kb;
+  json::Value doc = ExportRankedMcacs(f.ranked, f.corpus.items,
+                                      f.analysis.stats, kb);
+  const auto& clusters = doc.Find("clusters")->as_array();
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clusters[i].Find("rank")->as_number(),
+                     static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(clusters[i].Find("score")->as_number(),
+                     f.ranked[i].score);
+  }
+}
+
+TEST(ExportTest, MaxClustersCap) {
+  Fixture f;
+  KnowledgeBase kb;
+  ExportOptions options;
+  options.max_clusters = 1;
+  json::Value doc = ExportRankedMcacs(f.ranked, f.corpus.items,
+                                      f.analysis.stats, kb, options);
+  EXPECT_EQ(doc.Find("clusters")->as_array().size(), 1u);
+}
+
+TEST(ExportTest, OptionalSectionsToggle) {
+  Fixture f;
+  KnowledgeBase kb;
+  ExportOptions options;
+  options.include_severity = false;
+  options.include_novelty = false;
+  options.include_context = false;
+  json::Value doc = ExportRankedMcacs(f.ranked, f.corpus.items,
+                                      f.analysis.stats, kb, options);
+  const json::Value& first = doc.Find("clusters")->as_array()[0];
+  EXPECT_EQ(first.Find("severity"), nullptr);
+  EXPECT_EQ(first.Find("novelty"), nullptr);
+  EXPECT_EQ(first.Find("context"), nullptr);
+}
+
+TEST(ExportTest, ContextSizeMatchesMcac) {
+  Fixture f;
+  KnowledgeBase kb;
+  json::Value doc = ExportRankedMcacs(f.ranked, f.corpus.items,
+                                      f.analysis.stats, kb);
+  const auto& clusters = doc.Find("clusters")->as_array();
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EXPECT_EQ(clusters[i].Find("context")->as_array().size(),
+              f.ranked[i].mcac.ContextSize());
+  }
+}
+
+TEST(ExportTest, JsonStringRoundTrips) {
+  Fixture f;
+  std::string text = ExportAnalysisToJson(
+      f.analysis, f.corpus.items,
+      RankingMethod::kExclusivenessConfidence, {});
+  auto reparsed = json::Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Find("clusters")->as_array().size(), f.ranked.size());
+  // Drug names survive as strings.
+  const json::Value* drugs =
+      reparsed->Find("clusters")->as_array()[0].FindPath({"target"});
+  ASSERT_NE(drugs, nullptr);
+  EXPECT_FALSE(drugs->Find("drugs")->as_array().empty());
+}
+
+TEST(ExportTest, EmptyRankingExportsEmptyArray) {
+  MiniCorpus corpus;
+  corpus.Add({{"A"}, {"X"}}, 3);
+  KnowledgeBase kb;
+  RuleSpaceStats stats;
+  json::Value doc = ExportRankedMcacs({}, corpus.items, stats, kb);
+  EXPECT_TRUE(doc.Find("clusters")->as_array().empty());
+}
+
+}  // namespace
+}  // namespace maras::core

@@ -1,0 +1,147 @@
+#include "core/mcac.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace maras::core {
+namespace {
+
+using maras::test::AsthmaCorpus;
+using maras::test::MiniCorpus;
+
+DrugAdrRule TargetRule(MiniCorpus* corpus,
+                       const std::vector<std::string>& drugs,
+                       const std::vector<std::string>& adrs) {
+  mining::Itemset whole =
+      mining::Union(corpus->Drugs(drugs), corpus->Adrs(adrs));
+  auto rule = BuildRule(whole, corpus->items, corpus->db);
+  EXPECT_TRUE(rule.ok());
+  return *rule;
+}
+
+TEST(McacTest, Table31StructureThreeDrugs) {
+  MiniCorpus corpus = AsthmaCorpus();
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  // Exactly the paper's layout: 3 one-drug rules and 3 two-drug rules.
+  ASSERT_EQ(mcac->levels.size(), 2u);
+  EXPECT_EQ(mcac->levels[0].size(), 3u);
+  EXPECT_EQ(mcac->levels[1].size(), 3u);
+  EXPECT_EQ(mcac->ContextSize(), 6u);  // 2^3 − 2
+}
+
+TEST(McacTest, ContextRulesShareConsequent) {
+  MiniCorpus corpus = AsthmaCorpus();
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  for (const auto& level : mcac->levels) {
+    for (const auto& rule : level) {
+      EXPECT_EQ(rule.adrs, target.adrs);
+      EXPECT_TRUE(mining::IsSubset(rule.drugs, target.drugs));
+      EXPECT_LT(rule.drugs.size(), target.drugs.size());
+    }
+  }
+}
+
+TEST(McacTest, ContextMeasuresAreExactDatabaseCounts) {
+  MiniCorpus corpus = AsthmaCorpus();
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  for (const auto& level : mcac->levels) {
+    for (const auto& rule : level) {
+      EXPECT_EQ(rule.antecedent_support, corpus.db.Support(rule.drugs));
+      EXPECT_EQ(rule.support,
+                corpus.db.Support(mining::Union(rule.drugs, rule.adrs)));
+      if (rule.antecedent_support > 0) {
+        EXPECT_DOUBLE_EQ(rule.confidence,
+                         static_cast<double>(rule.support) /
+                             static_cast<double>(rule.antecedent_support));
+      }
+    }
+  }
+}
+
+TEST(McacTest, SingleDrugContextConfidencesMatchHand) {
+  MiniCorpus corpus = AsthmaCorpus();
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  // XOLAIR: 12 (triple) + 20 (rash) + 3 (asthma alone) = 35 reports,
+  // asthma with XOLAIR: 12 + 3 = 15.
+  bool found_xolair = false;
+  auto xolair = corpus.Drugs({"XOLAIR"});
+  for (const auto& rule : mcac->levels[0]) {
+    if (rule.drugs == xolair) {
+      found_xolair = true;
+      EXPECT_EQ(rule.antecedent_support, 35u);
+      EXPECT_EQ(rule.support, 15u);
+      EXPECT_NEAR(rule.confidence, 15.0 / 35.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_xolair);
+}
+
+TEST(McacTest, LevelsSortedByDescendingConfidence) {
+  MiniCorpus corpus = AsthmaCorpus();
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  for (const auto& level : mcac->levels) {
+    for (size_t i = 1; i < level.size(); ++i) {
+      EXPECT_GE(level[i - 1].confidence, level[i].confidence);
+    }
+  }
+}
+
+TEST(McacTest, TwoDrugTargetHasSingleLevel) {
+  MiniCorpus corpus;
+  corpus.Add({{"A", "B"}, {"X"}}, 5);
+  corpus.Add({{"A"}, {"Y"}}, 5);
+  corpus.Add({{"B"}, {"Y"}}, 5);
+  DrugAdrRule target = TargetRule(&corpus, {"A", "B"}, {"X"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  ASSERT_EQ(mcac->levels.size(), 1u);
+  EXPECT_EQ(mcac->levels[0].size(), 2u);
+}
+
+TEST(McacTest, SingleDrugTargetRejected) {
+  MiniCorpus corpus;
+  corpus.Add({{"A"}, {"X"}}, 3);
+  DrugAdrRule target = TargetRule(&corpus, {"A"}, {"X"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  EXPECT_TRUE(builder.Build(target).status().IsInvalidArgument());
+}
+
+TEST(McacTest, FourDrugContextComplete) {
+  MiniCorpus corpus;
+  corpus.Add({{"A", "B", "C", "D"}, {"X"}}, 4);
+  corpus.Add({{"A"}, {"Y"}}, 2);
+  DrugAdrRule target = TargetRule(&corpus, {"A", "B", "C", "D"}, {"X"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  auto mcac = builder.Build(target);
+  ASSERT_TRUE(mcac.ok());
+  ASSERT_EQ(mcac->levels.size(), 3u);
+  EXPECT_EQ(mcac->levels[0].size(), 4u);   // C(4,1)
+  EXPECT_EQ(mcac->levels[1].size(), 6u);   // C(4,2)
+  EXPECT_EQ(mcac->levels[2].size(), 4u);   // C(4,3)
+  EXPECT_EQ(mcac->ContextSize(), 14u);     // 2^4 − 2
+}
+
+}  // namespace
+}  // namespace maras::core

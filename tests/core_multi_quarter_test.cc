@@ -1,0 +1,149 @@
+#include "core/multi_quarter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+
+namespace maras::core {
+namespace {
+
+faers::PreprocessResult MakeQuarter(int quarter, size_t reports) {
+  faers::GeneratorConfig config;
+  config.quarter = quarter;
+  config.n_reports = reports;
+  config.n_drugs = 300;
+  config.n_adrs = 150;
+  config.seed = 777;
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  EXPECT_TRUE(dataset.ok());
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  auto pre = preprocessor.Process(*dataset);
+  EXPECT_TRUE(pre.ok());
+  return *std::move(pre);
+}
+
+class MultiQuarterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    q1_ = new faers::PreprocessResult(MakeQuarter(1, 1500));
+    q2_ = new faers::PreprocessResult(MakeQuarter(2, 1500));
+  }
+  static void TearDownTestSuite() {
+    delete q1_;
+    delete q2_;
+  }
+  static faers::PreprocessResult* q1_;
+  static faers::PreprocessResult* q2_;
+};
+
+faers::PreprocessResult* MultiQuarterTest::q1_ = nullptr;
+faers::PreprocessResult* MultiQuarterTest::q2_ = nullptr;
+
+TEST_F(MultiQuarterTest, MergeConcatenatesTransactions) {
+  auto merged = MergeQuarters({q1_, q2_});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->transactions.size(),
+            q1_->transactions.size() + q2_->transactions.size());
+  EXPECT_EQ(merged->primary_ids.size(), merged->transactions.size());
+  EXPECT_EQ(merged->stats.reports_kept,
+            q1_->stats.reports_kept + q2_->stats.reports_kept);
+}
+
+TEST_F(MultiQuarterTest, MergePreservesSupportsByName) {
+  auto merged = MergeQuarters({q1_, q2_});
+  ASSERT_TRUE(merged.ok());
+  // Any drug present in both quarters: merged support == sum of supports.
+  for (const char* name : {"ASPIRIN", "WARFARIN", "PROGRAF"}) {
+    auto id1 = q1_->items.Lookup(name);
+    auto id2 = q2_->items.Lookup(name);
+    auto idm = merged->items.Lookup(name);
+    ASSERT_TRUE(id1.ok() && id2.ok() && idm.ok()) << name;
+    EXPECT_EQ(merged->transactions.ItemSupport(*idm),
+              q1_->transactions.ItemSupport(*id1) +
+                  q2_->transactions.ItemSupport(*id2))
+        << name;
+  }
+}
+
+TEST_F(MultiQuarterTest, MergePreservesDomains) {
+  auto merged = MergeQuarters({q1_, q2_});
+  ASSERT_TRUE(merged.ok());
+  auto drug = merged->items.Lookup("ASPIRIN");
+  ASSERT_TRUE(drug.ok());
+  EXPECT_EQ(merged->items.Domain(*drug), mining::ItemDomain::kDrug);
+  auto adr = merged->items.Lookup("NAUSEA");
+  ASSERT_TRUE(adr.ok());
+  EXPECT_EQ(merged->items.Domain(*adr), mining::ItemDomain::kAdr);
+}
+
+TEST_F(MultiQuarterTest, MergedCorpusIsAnalyzable) {
+  auto merged = MergeQuarters({q1_, q2_});
+  ASSERT_TRUE(merged.ok());
+  AnalyzerOptions options;
+  options.mining.min_support = 6;
+  MarasAnalyzer analyzer(options);
+  auto analysis = analyzer.Analyze(*merged);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_GT(analysis->stats.mcac_count, 0u);
+}
+
+TEST(MergeQuartersTest, EmptyInputRejected) {
+  EXPECT_TRUE(MergeQuarters({}).status().IsInvalidArgument());
+}
+
+TEST_F(MultiQuarterTest, TrackSignalAcrossQuarters) {
+  auto trend = TrackSignal({q1_, q2_}, {"2014Q1", "2014Q2"},
+                           {"ZOMETA", "PRILOSEC"},
+                           {"OSTEONECROSIS OF JAW"});
+  ASSERT_EQ(trend.size(), 2u);
+  EXPECT_EQ(trend[0].label, "2014Q1");
+  for (const auto& row : trend) {
+    EXPECT_GT(row.combination_reports, 0u);
+    EXPECT_GE(row.combination_reports, row.reports);
+    EXPECT_GE(row.confidence, 0.0);
+    EXPECT_LE(row.confidence, 1.0);
+  }
+}
+
+TEST_F(MultiQuarterTest, TrackSignalMissingVocabularyGivesZeroRow) {
+  auto trend = TrackSignal({q1_}, {"2014Q1"}, {"NO SUCH DRUG"}, {"NAUSEA"});
+  ASSERT_EQ(trend.size(), 1u);
+  EXPECT_EQ(trend[0].combination_reports, 0u);
+  EXPECT_EQ(trend[0].reports, 0u);
+}
+
+TEST(ClassifyTrendTest, Verdicts) {
+  auto row = [](size_t combo, double conf) {
+    QuarterlySignalTrend r;
+    r.combination_reports = combo;
+    r.reports = static_cast<size_t>(conf * combo);
+    r.confidence = conf;
+    return r;
+  };
+  EXPECT_EQ(ClassifyTrend({row(10, 0.2), row(10, 0.6)}),
+            TrendVerdict::kEmerging);
+  EXPECT_EQ(ClassifyTrend({row(10, 0.6), row(10, 0.2)}),
+            TrendVerdict::kFading);
+  EXPECT_EQ(ClassifyTrend({row(10, 0.4), row(10, 0.45)}),
+            TrendVerdict::kStable);
+  EXPECT_EQ(ClassifyTrend({row(10, 0.4)}), TrendVerdict::kInsufficient);
+  EXPECT_EQ(ClassifyTrend({row(0, 0.0), row(0, 0.0)}),
+            TrendVerdict::kInsufficient);
+  // Zero-combination quarters are skipped, not treated as dips.
+  EXPECT_EQ(ClassifyTrend({row(10, 0.2), row(0, 0.0), row(10, 0.6)}),
+            TrendVerdict::kEmerging);
+}
+
+TEST(ClassifyTrendTest, NamesComplete) {
+  EXPECT_STREQ(TrendVerdictName(TrendVerdict::kEmerging), "emerging");
+  EXPECT_STREQ(TrendVerdictName(TrendVerdict::kStable), "stable");
+  EXPECT_STREQ(TrendVerdictName(TrendVerdict::kFading), "fading");
+  EXPECT_STREQ(TrendVerdictName(TrendVerdict::kInsufficient),
+               "insufficient");
+}
+
+}  // namespace
+}  // namespace maras::core

@@ -1,0 +1,122 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace maras::core {
+namespace {
+
+Mcac SimpleMcac(double target_conf, double target_lift, double context_conf,
+                size_t support = 10) {
+  Mcac mcac;
+  mcac.target.drugs = {0, 1};
+  mcac.target.adrs = {100};
+  mcac.target.confidence = target_conf;
+  mcac.target.lift = target_lift;
+  mcac.target.support = support;
+  DrugAdrRule context;
+  context.drugs = {0};
+  context.adrs = {100};
+  context.confidence = context_conf;
+  context.lift = context_conf * 5.0;
+  mcac.levels.push_back({context});
+  return mcac;
+}
+
+TEST(RankingTest, ConfidenceMethodUsesTargetConfidence) {
+  ExclusivenessOptions options;
+  Mcac mcac = SimpleMcac(0.7, 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(ScoreMcac(mcac, RankingMethod::kConfidence, options), 0.7);
+  EXPECT_DOUBLE_EQ(ScoreMcac(mcac, RankingMethod::kLift, options), 3.0);
+}
+
+TEST(RankingTest, ExclusivenessMethodsOverrideMeasure) {
+  ExclusivenessOptions options;
+  options.theta = 0.0;
+  // Even when options say lift, the confidence method uses confidence.
+  options.measure = RuleMeasure::kLift;
+  Mcac mcac = SimpleMcac(0.7, 3.0, 0.1);
+  EXPECT_NEAR(
+      ScoreMcac(mcac, RankingMethod::kExclusivenessConfidence, options),
+      0.7 - 0.1, 1e-12);
+  EXPECT_NEAR(ScoreMcac(mcac, RankingMethod::kExclusivenessLift, options),
+              3.0 - 0.5, 1e-12);
+}
+
+TEST(RankingTest, ImprovementMethod) {
+  ExclusivenessOptions options;
+  Mcac mcac = SimpleMcac(0.7, 3.0, 0.4);
+  EXPECT_NEAR(ScoreMcac(mcac, RankingMethod::kImprovement, options),
+              0.7 - 0.4, 1e-12);
+}
+
+TEST(RankingTest, SortsDescendingByScore) {
+  ExclusivenessOptions options;
+  std::vector<Mcac> mcacs = {
+      SimpleMcac(0.3, 1.0, 0.0),
+      SimpleMcac(0.9, 1.0, 0.0),
+      SimpleMcac(0.6, 1.0, 0.0),
+  };
+  auto ranked = RankMcacs(mcacs, RankingMethod::kConfidence, options);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(ranked[1].score, 0.6);
+  EXPECT_DOUBLE_EQ(ranked[2].score, 0.3);
+}
+
+TEST(RankingTest, TieBreaksBySupportThenItems) {
+  ExclusivenessOptions options;
+  Mcac a = SimpleMcac(0.5, 1.0, 0.0, /*support=*/5);
+  Mcac b = SimpleMcac(0.5, 1.0, 0.0, /*support=*/50);
+  auto ranked = RankMcacs({a, b}, RankingMethod::kConfidence, options);
+  EXPECT_EQ(ranked[0].mcac.target.support, 50u);
+
+  // Equal score and support: smaller drug ids first.
+  Mcac c = SimpleMcac(0.5, 1.0, 0.0, 5);
+  c.target.drugs = {7, 9};
+  auto ranked2 = RankMcacs({c, a}, RankingMethod::kConfidence, options);
+  EXPECT_EQ(ranked2[0].mcac.target.drugs, (mining::Itemset{0, 1}));
+}
+
+TEST(RankingTest, DeterministicAcrossRuns) {
+  ExclusivenessOptions options;
+  std::vector<Mcac> mcacs;
+  for (int i = 0; i < 20; ++i) {
+    mcacs.push_back(SimpleMcac(0.5, 1.0, 0.0, 7));
+    mcacs.back().target.drugs = {static_cast<mining::ItemId>(i),
+                                 static_cast<mining::ItemId>(i + 30)};
+  }
+  auto r1 = RankMcacs(mcacs, RankingMethod::kExclusivenessConfidence, options);
+  auto r2 = RankMcacs(mcacs, RankingMethod::kExclusivenessConfidence, options);
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].mcac.target.drugs, r2[i].mcac.target.drugs);
+  }
+}
+
+TEST(RankingTest, MethodNames) {
+  EXPECT_STREQ(RankingMethodName(RankingMethod::kConfidence), "confidence");
+  EXPECT_STREQ(RankingMethodName(RankingMethod::kLift), "lift");
+  EXPECT_STREQ(RankingMethodName(RankingMethod::kExclusivenessConfidence),
+               "exclusiveness+confidence");
+  EXPECT_STREQ(RankingMethodName(RankingMethod::kExclusivenessLift),
+               "exclusiveness+lift");
+  EXPECT_STREQ(RankingMethodName(RankingMethod::kImprovement), "improvement");
+}
+
+TEST(RankingTest, ExclusivenessReordersRelativeToConfidence) {
+  ExclusivenessOptions options;
+  options.theta = 0.0;
+  // High confidence but dominated context vs. lower confidence but exclusive.
+  Mcac dominated = SimpleMcac(0.95, 1.0, 0.94);
+  Mcac exclusive = SimpleMcac(0.80, 1.0, 0.02);
+  auto by_conf =
+      RankMcacs({dominated, exclusive}, RankingMethod::kConfidence, options);
+  auto by_excl = RankMcacs({dominated, exclusive},
+                           RankingMethod::kExclusivenessConfidence, options);
+  EXPECT_DOUBLE_EQ(by_conf[0].mcac.target.confidence, 0.95);
+  EXPECT_DOUBLE_EQ(by_excl[0].mcac.target.confidence, 0.80);
+}
+
+}  // namespace
+}  // namespace maras::core

@@ -1,0 +1,165 @@
+#include "core/stratified.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace maras::core {
+namespace {
+
+using maras::test::MiniCorpus;
+
+// Corpus builder that also records demographics per report.
+struct StratCorpus {
+  MiniCorpus corpus;
+  std::vector<faers::CaseDemographics> demographics;
+
+  void Add(const maras::test::ReportSpec& spec, faers::Sex sex, double age,
+           size_t copies = 1) {
+    for (size_t i = 0; i < copies; ++i) {
+      corpus.Add(spec, 1);
+      demographics.push_back(faers::CaseDemographics{sex, age});
+    }
+  }
+  DrugAdrRule Rule(const std::vector<std::string>& drugs,
+                   const std::vector<std::string>& adrs) {
+    DrugAdrRule rule;
+    rule.drugs = corpus.Drugs(drugs);
+    rule.adrs = corpus.Adrs(adrs);
+    return rule;
+  }
+};
+
+TEST(AgeBandTest, Boundaries) {
+  EXPECT_EQ(AgeBandOf(-1), AgeBand::kUnknown);
+  EXPECT_EQ(AgeBandOf(0), AgeBand::kChild);
+  EXPECT_EQ(AgeBandOf(17.9), AgeBand::kChild);
+  EXPECT_EQ(AgeBandOf(18), AgeBand::kAdult);
+  EXPECT_EQ(AgeBandOf(64.9), AgeBand::kAdult);
+  EXPECT_EQ(AgeBandOf(65), AgeBand::kElderly);
+  EXPECT_EQ(AgeBandOf(100), AgeBand::kElderly);
+}
+
+TEST(AgeBandTest, Names) {
+  EXPECT_STREQ(AgeBandName(AgeBand::kChild), "<18");
+  EXPECT_STREQ(AgeBandName(AgeBand::kElderly), "65+");
+}
+
+TEST(StratifiedTest, TablesPartitionEachStratum) {
+  StratCorpus sc;
+  sc.Add({{"A"}, {"X"}}, faers::Sex::kFemale, 70, 4);
+  sc.Add({{"A"}, {"Y"}}, faers::Sex::kFemale, 70, 2);
+  sc.Add({{"B"}, {"X"}}, faers::Sex::kMale, 30, 5);
+  StratifiedAnalyzer analyzer(&sc.corpus.db, &sc.demographics);
+  DrugAdrRule rule = sc.Rule({"A"}, {"X"});
+  auto tables = analyzer.Tables(rule);
+  // Two populated strata: F/65+ and M/18-64.
+  ASSERT_EQ(tables.size(), 2u);
+  size_t total = 0;
+  for (const auto& stratum : tables) total += stratum.table.n();
+  EXPECT_EQ(total, sc.corpus.db.size());
+  // F/65+: a=4 (A with X), b=2 (A without X), c=0, d=0.
+  const auto& elderly = tables[0].age_band == AgeBand::kElderly
+                            ? tables[0]
+                            : tables[1];
+  EXPECT_EQ(elderly.table.a, 4u);
+  EXPECT_EQ(elderly.table.b, 2u);
+  EXPECT_EQ(elderly.table.c, 0u);
+  EXPECT_EQ(elderly.table.d, 0u);
+}
+
+TEST(StratifiedTest, StratumLabels) {
+  StratumTable stratum;
+  stratum.sex = faers::Sex::kFemale;
+  stratum.age_band = AgeBand::kElderly;
+  EXPECT_EQ(stratum.Label(), "F/65+");
+}
+
+TEST(StratifiedTest, MantelHaenszelEqualsCrudeWhenHomogeneous) {
+  // Single stratum -> MH reduces exactly to the crude OR.
+  StratCorpus sc;
+  sc.Add({{"A", "B"}, {"X"}}, faers::Sex::kFemale, 40, 6);
+  sc.Add({{"A", "B"}, {"Y"}}, faers::Sex::kFemale, 40, 2);
+  sc.Add({{"C"}, {"X"}}, faers::Sex::kFemale, 40, 3);
+  sc.Add({{"C"}, {"Y"}}, faers::Sex::kFemale, 40, 9);
+  StratifiedAnalyzer analyzer(&sc.corpus.db, &sc.demographics);
+  DrugAdrRule rule = sc.Rule({"A", "B"}, {"X"});
+  EXPECT_NEAR(analyzer.MantelHaenszelRor(rule), analyzer.CrudeRor(rule),
+              1e-9);
+  EXPECT_FALSE(analyzer.IsConfounded(rule));
+}
+
+TEST(StratifiedTest, SimpsonsParadoxDetected) {
+  // Classic confounding: within each stratum drug and ADR are independent
+  // (OR = 1), but the elderly both take the drug and report the ADR far
+  // more, so the crude OR looks like a strong signal.
+  StratCorpus sc;
+  // Elderly: 40 exposed / 10 unexposed; ADR rate 50% in both arms.
+  sc.Add({{"D"}, {"X"}}, faers::Sex::kFemale, 75, 20);
+  sc.Add({{"D"}, {"Y"}}, faers::Sex::kFemale, 75, 20);
+  sc.Add({{"C"}, {"X"}}, faers::Sex::kFemale, 75, 5);
+  sc.Add({{"C"}, {"Y"}}, faers::Sex::kFemale, 75, 5);
+  // Adults: 10 exposed / 40 unexposed; ADR rate 10% in both arms.
+  sc.Add({{"D"}, {"X"}}, faers::Sex::kMale, 40, 1);
+  sc.Add({{"D"}, {"Y"}}, faers::Sex::kMale, 40, 9);
+  sc.Add({{"C"}, {"X"}}, faers::Sex::kMale, 40, 4);
+  sc.Add({{"C"}, {"Y"}}, faers::Sex::kMale, 40, 36);
+  StratifiedAnalyzer analyzer(&sc.corpus.db, &sc.demographics);
+  DrugAdrRule rule = sc.Rule({"D"}, {"X"});
+  double crude = analyzer.CrudeRor(rule);
+  double pooled = analyzer.MantelHaenszelRor(rule);
+  EXPECT_GT(crude, 1.5);            // the spurious crude signal
+  EXPECT_NEAR(pooled, 1.0, 0.05);   // stratification removes it
+  EXPECT_TRUE(analyzer.IsConfounded(rule));
+}
+
+TEST(StratifiedTest, MantelHaenszelHandComputed) {
+  // Two strata with hand-computed MH OR.
+  // S1: a=4 b=1 c=2 d=8 (n=15): ad/n = 32/15, bc/n = 2/15
+  // S2: a=2 b=2 c=1 d=5 (n=10): ad/n = 10/10=1, bc/n = 2/10
+  // OR_MH = (32/15 + 1) / (2/15 + 0.2) = (47/15) / (1/3) = 9.4
+  StratCorpus sc;
+  sc.Add({{"A"}, {"X"}}, faers::Sex::kFemale, 30, 4);   // S1 a
+  sc.Add({{"A"}, {"Y"}}, faers::Sex::kFemale, 30, 1);   // S1 b
+  sc.Add({{"B"}, {"X"}}, faers::Sex::kFemale, 30, 2);   // S1 c
+  sc.Add({{"B"}, {"Y"}}, faers::Sex::kFemale, 30, 8);   // S1 d
+  sc.Add({{"A"}, {"X"}}, faers::Sex::kMale, 70, 2);     // S2 a
+  sc.Add({{"A"}, {"Y"}}, faers::Sex::kMale, 70, 2);     // S2 b
+  sc.Add({{"B"}, {"X"}}, faers::Sex::kMale, 70, 1);     // S2 c
+  sc.Add({{"B"}, {"Y"}}, faers::Sex::kMale, 70, 5);     // S2 d
+  StratifiedAnalyzer analyzer(&sc.corpus.db, &sc.demographics);
+  DrugAdrRule rule = sc.Rule({"A"}, {"X"});
+  EXPECT_NEAR(analyzer.MantelHaenszelRor(rule), 9.4, 1e-9);
+}
+
+TEST(StratifiedTest, DegenerateDenominatorCapped) {
+  StratCorpus sc;
+  sc.Add({{"A"}, {"X"}}, faers::Sex::kFemale, 30, 3);
+  sc.Add({{"B"}, {"Y"}}, faers::Sex::kFemale, 30, 3);
+  StratifiedAnalyzer analyzer(&sc.corpus.db, &sc.demographics);
+  DrugAdrRule rule = sc.Rule({"A"}, {"X"});
+  // b = 0 and c = 0 in the only stratum -> denominator 0, numerator > 0.
+  EXPECT_DOUBLE_EQ(analyzer.MantelHaenszelRor(rule),
+                   kDisproportionalityCap);
+  EXPECT_FALSE(analyzer.IsConfounded(rule));  // degenerate, not evidence
+}
+
+TEST(StratifiedTest, MissingDemographicsFallIntoUnknownStratum) {
+  MiniCorpus corpus;
+  corpus.Add({{"A"}, {"X"}}, 5);
+  std::vector<faers::CaseDemographics> demographics;  // shorter than db
+  StratifiedAnalyzer analyzer(&corpus.db, &demographics);
+  DrugAdrRule rule;
+  rule.drugs = corpus.Drugs({"A"});
+  rule.adrs = corpus.Adrs({"X"});
+  auto tables = analyzer.Tables(rule);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].sex, faers::Sex::kUnknown);
+  EXPECT_EQ(tables[0].age_band, AgeBand::kUnknown);
+  EXPECT_EQ(tables[0].table.a, 5u);
+}
+
+}  // namespace
+}  // namespace maras::core

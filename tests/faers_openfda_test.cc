@@ -1,0 +1,164 @@
+#include "faers/openfda.h"
+
+#include <gtest/gtest.h>
+
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+#include "util/random.h"
+
+namespace maras::faers {
+namespace {
+
+constexpr const char* kSampleJson = R"({
+  "meta": {"disclaimer": "ignored by the reader"},
+  "results": [
+    {
+      "safetyreportid": "10012345",
+      "safetyreportversion": "2",
+      "fulfillexpeditecriteria": "1",
+      "occurcountry": "US",
+      "patient": {
+        "patientsex": "2",
+        "patientonsetage": "63",
+        "drug": [
+          {"medicinalproduct": "ASPIRIN", "drugcharacterization": "1"},
+          {"medicinalproduct": "WARFARIN"}
+        ],
+        "reaction": [{"reactionmeddrapt": "HAEMORRHAGE"}]
+      }
+    },
+    {
+      "safetyreportid": "10012346",
+      "fulfillexpeditecriteria": "2",
+      "patient": {
+        "patientsex": "1",
+        "drug": [{"medicinalproduct": "NEXIUM"}],
+        "reaction": [{"reactionmeddrapt": "NAUSEA"},
+                     {"reactionmeddrapt": "HEADACHE"}]
+      }
+    },
+    {
+      "safetyreportid": "10012347",
+      "patient": {"drug": [], "reaction": []}
+    }
+  ]
+})";
+
+TEST(OpenFdaReadTest, ParsesSampleEvents) {
+  OpenFdaReadStats stats;
+  auto dataset = ReadOpenFdaEvents(kSampleJson, 2014, 1, &stats);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(stats.results_total, 3u);
+  EXPECT_EQ(stats.reports_loaded, 2u);
+  EXPECT_EQ(stats.skipped_incomplete, 1u);
+  ASSERT_EQ(dataset->reports.size(), 2u);
+
+  const Report& r1 = dataset->reports[0];
+  EXPECT_EQ(r1.case_id, 10012345u);
+  EXPECT_EQ(r1.case_version, 2u);
+  EXPECT_EQ(r1.type, ReportType::kExpedited);
+  EXPECT_EQ(r1.sex, Sex::kFemale);
+  EXPECT_DOUBLE_EQ(r1.age, 63.0);
+  EXPECT_EQ(r1.country, "US");
+  EXPECT_EQ(r1.drugs, (std::vector<std::string>{"ASPIRIN", "WARFARIN"}));
+  EXPECT_EQ(r1.reactions, (std::vector<std::string>{"HAEMORRHAGE"}));
+
+  const Report& r2 = dataset->reports[1];
+  EXPECT_EQ(r2.type, ReportType::kPeriodic);
+  EXPECT_EQ(r2.sex, Sex::kMale);
+  EXPECT_LT(r2.age, 0.0);  // unreported
+  EXPECT_EQ(r2.case_version, 1u);  // defaulted
+}
+
+TEST(OpenFdaReadTest, MissingResultsIsCorruption) {
+  EXPECT_TRUE(ReadOpenFdaEvents(R"({"meta": {}})", 2014, 1)
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(ReadOpenFdaEvents(R"({"results": 5})", 2014, 1)
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(ReadOpenFdaEvents("not json", 2014, 1).status().IsCorruption());
+}
+
+TEST(OpenFdaReadTest, NumberTypedFieldsTolerated) {
+  // Some exports carry numeric ids; the reader coerces.
+  const char* json = R"({"results":[{
+      "safetyreportid": 777,
+      "patient": {
+        "drug": [{"medicinalproduct": "TUMS"}],
+        "reaction": [{"reactionmeddrapt": "NAUSEA"}]
+      }}]})";
+  auto dataset = ReadOpenFdaEvents(json, 2014, 2);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->reports.size(), 1u);
+  EXPECT_EQ(dataset->reports[0].case_id, 777u);
+}
+
+TEST(OpenFdaRoundTripTest, WriteThenReadPreservesReports) {
+  GeneratorConfig config;
+  config.n_reports = 300;
+  config.n_drugs = 150;
+  config.n_adrs = 80;
+  SyntheticGenerator generator(config);
+  auto original = generator.Generate();
+  ASSERT_TRUE(original.ok());
+
+  auto json_text = WriteOpenFdaEvents(*original);
+  ASSERT_TRUE(json_text.ok());
+  OpenFdaReadStats stats;
+  auto parsed = ReadOpenFdaEvents(*json_text, 2014, 1, &stats);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->reports.size(), original->reports.size());
+  EXPECT_EQ(stats.skipped_incomplete, 0u);
+  for (size_t i = 0; i < parsed->reports.size(); i += 23) {
+    EXPECT_EQ(parsed->reports[i].case_id, original->reports[i].case_id);
+    EXPECT_EQ(parsed->reports[i].drugs, original->reports[i].drugs);
+    EXPECT_EQ(parsed->reports[i].reactions, original->reports[i].reactions);
+    EXPECT_EQ(parsed->reports[i].type, original->reports[i].type);
+    EXPECT_EQ(parsed->reports[i].sex, original->reports[i].sex);
+  }
+}
+
+TEST(OpenFdaRoundTripTest, RoundTrippedDataIsAnalyzable) {
+  GeneratorConfig config;
+  config.n_reports = 400;
+  config.n_drugs = 150;
+  config.n_adrs = 80;
+  SyntheticGenerator generator(config);
+  auto original = generator.Generate();
+  ASSERT_TRUE(original.ok());
+  auto json_text = WriteOpenFdaEvents(*original);
+  ASSERT_TRUE(json_text.ok());
+  auto parsed = ReadOpenFdaEvents(*json_text, 2014, 1);
+  ASSERT_TRUE(parsed.ok());
+  Preprocessor preprocessor{PreprocessOptions{}};
+  auto pre = preprocessor.Process(*parsed);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_GT(pre->stats.reports_kept, 200u);
+}
+
+// Robustness: mutated JSON must produce Status, never crash.
+TEST(OpenFdaFuzzTest, MutatedInputNeverCrashes) {
+  GeneratorConfig config;
+  config.n_reports = 20;
+  config.n_drugs = 50;
+  config.n_adrs = 30;
+  SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  ASSERT_TRUE(dataset.ok());
+  auto json_text = WriteOpenFdaEvents(*dataset);
+  ASSERT_TRUE(json_text.ok());
+  maras::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = *json_text;
+    for (size_t e = 0; e < 3; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+    }
+    auto result = ReadOpenFdaEvents(mutated, 2014, 1);  // must not crash
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace maras::faers

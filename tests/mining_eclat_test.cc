@@ -1,0 +1,104 @@
+#include "mining/eclat.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/apriori.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
+
+namespace maras::mining {
+namespace {
+
+TransactionDatabase RandomDb(maras::Rng* rng, int transactions, int items,
+                             int max_len) {
+  TransactionDatabase db;
+  for (int t = 0; t < transactions; ++t) {
+    Itemset txn;
+    for (size_t i = 1 + rng->Uniform(static_cast<uint64_t>(max_len)); i > 0;
+         --i) {
+      txn.push_back(static_cast<ItemId>(rng->Uniform(items)));
+    }
+    db.Add(std::move(txn));
+  }
+  return db;
+}
+
+TEST(EclatTest, SimpleDatabase) {
+  TransactionDatabase db;
+  db.Add({0, 1, 2});
+  db.Add({0, 1});
+  db.Add({0, 2});
+  db.Add({1, 2});
+  Eclat miner(MiningOptions{.min_support = 2});
+  auto result = miner.Mine(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SupportOf({0}), 3u);
+  EXPECT_EQ(result->SupportOf({0, 1}), 2u);
+  EXPECT_EQ(result->SupportOf({0, 2}), 2u);
+  EXPECT_EQ(result->SupportOf({1, 2}), 2u);
+  EXPECT_FALSE(result->ContainsItemset({0, 1, 2}));  // support 1
+}
+
+TEST(EclatTest, MatchesAprioriAndFpGrowth) {
+  maras::Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    TransactionDatabase db = RandomDb(&rng, 100, 10, 6);
+    MiningOptions options{.min_support = 2 + rng.Uniform(4)};
+    auto ec = Eclat(options).Mine(db);
+    auto ap = Apriori(options).Mine(db);
+    auto fp = FpGrowth(options).Mine(db);
+    ASSERT_TRUE(ec.ok());
+    ASSERT_TRUE(ap.ok());
+    ASSERT_TRUE(fp.ok());
+    ASSERT_EQ(ec->size(), ap->size()) << "trial " << trial;
+    ASSERT_EQ(ec->size(), fp->size()) << "trial " << trial;
+    for (size_t i = 0; i < ec->size(); ++i) {
+      EXPECT_EQ(ec->itemsets()[i].items, ap->itemsets()[i].items);
+      EXPECT_EQ(ec->itemsets()[i].support, ap->itemsets()[i].support);
+    }
+  }
+}
+
+TEST(EclatTest, MaxItemsetSizeRespected) {
+  maras::Rng rng(31);
+  TransactionDatabase db = RandomDb(&rng, 80, 8, 6);
+  MiningOptions options{.min_support = 2, .max_itemset_size = 2};
+  auto ec = Eclat(options).Mine(db);
+  auto ap = Apriori(options).Mine(db);
+  ASSERT_TRUE(ec.ok());
+  ASSERT_TRUE(ap.ok());
+  ASSERT_EQ(ec->size(), ap->size());
+  for (const auto& fi : ec->itemsets()) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(EclatTest, MinSupportZeroRejected) {
+  Eclat miner(MiningOptions{.min_support = 0});
+  TransactionDatabase db;
+  db.Add({1});
+  EXPECT_TRUE(miner.Mine(db).status().IsInvalidArgument());
+}
+
+TEST(EclatTest, EmptyDatabase) {
+  Eclat miner(MiningOptions{.min_support = 1});
+  TransactionDatabase db;
+  auto result = miner.Mine(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(EclatTest, SupportsMatchDatabaseCounts) {
+  maras::Rng rng(99);
+  TransactionDatabase db = RandomDb(&rng, 150, 12, 7);
+  Eclat miner(MiningOptions{.min_support = 4});
+  auto result = miner.Mine(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->size(), 0u);
+  for (const auto& fi : result->itemsets()) {
+    EXPECT_EQ(db.Support(fi.items), fi.support) << ToString(fi.items);
+  }
+}
+
+}  // namespace
+}  // namespace maras::mining

@@ -1,0 +1,117 @@
+#include "mining/maximal_itemsets.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/closed_itemsets.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
+
+namespace maras::mining {
+namespace {
+
+FrequentItemsetResult MineAll(const TransactionDatabase& db,
+                              size_t min_support) {
+  auto result = FpGrowth(MiningOptions{.min_support = min_support}).Mine(db);
+  EXPECT_TRUE(result.ok());
+  return *std::move(result);
+}
+
+TEST(MaximalTest, SimpleExample) {
+  TransactionDatabase db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  db.Add({1, 2});
+  auto all = MineAll(db, 2);
+  FrequentItemsetResult maximal = FilterMaximal(all);
+  // Only {1,2,3} is maximal: every other frequent set extends into it.
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal.itemsets()[0].items, (Itemset{1, 2, 3}));
+}
+
+TEST(MaximalTest, DisjointMaximalSets) {
+  TransactionDatabase db;
+  db.Add({1, 2});
+  db.Add({1, 2});
+  db.Add({3, 4});
+  db.Add({3, 4});
+  auto all = MineAll(db, 2);
+  FrequentItemsetResult maximal = FilterMaximal(all);
+  EXPECT_EQ(maximal.size(), 2u);
+  EXPECT_TRUE(maximal.ContainsItemset({1, 2}));
+  EXPECT_TRUE(maximal.ContainsItemset({3, 4}));
+}
+
+TEST(MaximalTest, ContainmentChainOnRandomData) {
+  // maximal ⊆ closed ⊆ frequent, with |maximal| <= |closed| <= |frequent|.
+  maras::Rng rng(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    TransactionDatabase db;
+    for (int t = 0; t < 90; ++t) {
+      Itemset txn;
+      for (size_t i = 1 + rng.Uniform(6); i > 0; --i) {
+        txn.push_back(static_cast<ItemId>(rng.Uniform(10)));
+      }
+      db.Add(std::move(txn));
+    }
+    auto all = MineAll(db, 2);
+    FrequentItemsetResult closed = FilterClosed(all);
+    FrequentItemsetResult maximal = FilterMaximal(all);
+    EXPECT_LE(maximal.size(), closed.size());
+    EXPECT_LE(closed.size(), all.size());
+    EXPECT_TRUE(IsMaximalFamilySubsetOfClosed(all));
+  }
+}
+
+TEST(MaximalTest, EveryFrequentSetHasMaximalSuperset) {
+  maras::Rng rng(505);
+  TransactionDatabase db;
+  for (int t = 0; t < 70; ++t) {
+    Itemset txn;
+    for (size_t i = 1 + rng.Uniform(5); i > 0; --i) {
+      txn.push_back(static_cast<ItemId>(rng.Uniform(8)));
+    }
+    db.Add(std::move(txn));
+  }
+  auto all = MineAll(db, 2);
+  FrequentItemsetResult maximal = FilterMaximal(all);
+  for (const auto& fi : all.itemsets()) {
+    bool covered = false;
+    for (const auto& mx : maximal.itemsets()) {
+      if (IsSubset(fi.items, mx.items)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << ToString(fi.items);
+  }
+}
+
+TEST(MaximalTest, MaximalSetsHaveNoFrequentSuperset) {
+  maras::Rng rng(606);
+  TransactionDatabase db;
+  for (int t = 0; t < 70; ++t) {
+    Itemset txn;
+    for (size_t i = 1 + rng.Uniform(5); i > 0; --i) {
+      txn.push_back(static_cast<ItemId>(rng.Uniform(8)));
+    }
+    db.Add(std::move(txn));
+  }
+  auto all = MineAll(db, 3);
+  FrequentItemsetResult maximal = FilterMaximal(all);
+  for (const auto& mx : maximal.itemsets()) {
+    for (const auto& fi : all.itemsets()) {
+      if (fi.items.size() > mx.items.size()) {
+        EXPECT_FALSE(IsSubset(mx.items, fi.items))
+            << ToString(mx.items) << " ⊂ " << ToString(fi.items);
+      }
+    }
+  }
+}
+
+TEST(MaximalTest, EmptyResult) {
+  FrequentItemsetResult empty;
+  EXPECT_EQ(FilterMaximal(empty).size(), 0u);
+}
+
+}  // namespace
+}  // namespace maras::mining

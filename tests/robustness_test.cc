@@ -1,0 +1,152 @@
+// Seed- and parameter-robustness sweeps: the pipeline's guarantees must not
+// depend on one lucky random stream. Parameterized over generator seeds and
+// over mining thresholds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analyzer.h"
+#include "core/export.h"
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+#include "mining/closed_itemsets.h"
+
+namespace maras {
+namespace {
+
+faers::PreprocessResult BuildCorpus(uint64_t seed, size_t reports) {
+  faers::GeneratorConfig config;
+  config.seed = seed;
+  config.n_reports = reports;
+  config.n_drugs = 500;
+  config.n_adrs = 200;
+  config.signals = faers::DefaultSignals(reports * 2);  // strong signals
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  EXPECT_TRUE(dataset.ok());
+  faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+  auto pre = preprocessor.Process(*dataset);
+  EXPECT_TRUE(pre.ok());
+  return *std::move(pre);
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, CaseStudySignalsRecoveredAtEverySeed) {
+  faers::PreprocessResult pre = BuildCorpus(GetParam(), 3000);
+  core::AnalyzerOptions options;
+  options.mining.min_support = 4;
+  options.mining.max_itemset_size = 7;
+  core::MarasAnalyzer analyzer(options);
+  auto analysis = analyzer.Analyze(pre);
+  ASSERT_TRUE(analysis.ok());
+  auto ranked = core::RankMcacs(
+      analysis->mcacs, core::RankingMethod::kExclusivenessConfidence, {});
+  ASSERT_FALSE(ranked.empty());
+
+  // The three headline case studies must always be mined.
+  for (const auto* name :
+       {"IBUPROFEN", "METAMIZOLE", "PREVACID", "NEXIUM"}) {
+    EXPECT_TRUE(pre.items.Contains(name)) << name;
+  }
+  auto find_pair = [&](const char* d1, const char* d2, const char* adr) {
+    auto id1 = pre.items.Lookup(d1);
+    auto id2 = pre.items.Lookup(d2);
+    auto ida = pre.items.Lookup(adr);
+    if (!id1.ok() || !id2.ok() || !ida.ok()) return false;
+    mining::Itemset drugs = mining::MakeItemset({*id1, *id2});
+    for (const auto& entry : ranked) {
+      if (mining::IsSubset(drugs, entry.mcac.target.drugs) &&
+          mining::Contains(entry.mcac.target.adrs, *ida)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(find_pair("IBUPROFEN", "METAMIZOLE", "ACUTE RENAL FAILURE"));
+  EXPECT_TRUE(find_pair("PREVACID", "NEXIUM", "OSTEOPOROSIS"));
+  EXPECT_TRUE(find_pair("ZOMETA", "PRILOSEC", "OSTEONECROSIS OF JAW"));
+}
+
+TEST_P(SeedSweepTest, AnalyzerInvariantsHoldAtEverySeed) {
+  faers::PreprocessResult pre = BuildCorpus(GetParam() + 17, 2000);
+  core::AnalyzerOptions options;
+  options.mining.min_support = 5;
+  core::MarasAnalyzer analyzer(options);
+  auto analysis = analyzer.Analyze(pre);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_GE(analysis->stats.total_rules, analysis->stats.filtered_rules);
+  EXPECT_GE(analysis->stats.filtered_rules, analysis->stats.closed_mixed);
+  EXPECT_GE(analysis->stats.closed_mixed, analysis->stats.mcac_count);
+  std::set<mining::Itemset> seen;
+  for (const core::Mcac& mcac : analysis->mcacs) {
+    // Targets are unique, closed, supported-by-construction rules.
+    EXPECT_TRUE(seen.insert(mcac.target.CompleteItemset()).second);
+    EXPECT_TRUE(mining::IsClosedInDatabase(pre.transactions,
+                                           mcac.target.CompleteItemset()));
+    EXPECT_GE(mcac.target.drugs.size(), 2u);
+    EXPECT_EQ(mcac.levels.size(), mcac.target.drugs.size() - 1);
+    EXPECT_EQ(mcac.ContextSize(),
+              (1u << mcac.target.drugs.size()) - 2u);
+    EXPECT_GT(mcac.target.confidence, 0.0);
+    EXPECT_LE(mcac.target.confidence, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(11, 222, 3333, 44444, 555555));
+
+TEST(DeterminismTest, FullPipelineIsByteIdenticalAcrossRuns) {
+  // Two completely independent end-to-end runs (generation, cleaning,
+  // mining, clustering, ranking, export) must agree byte for byte — the
+  // property every bench and every recorded experiment relies on.
+  auto run_once = []() {
+    faers::PreprocessResult pre = BuildCorpus(31337, 1500);
+    core::AnalyzerOptions options;
+    options.mining.min_support = 5;
+    core::MarasAnalyzer analyzer(options);
+    auto analysis = analyzer.Analyze(pre);
+    EXPECT_TRUE(analysis.ok());
+    return core::ExportAnalysisToJson(
+        *analysis, pre.items,
+        core::RankingMethod::kExclusivenessConfidence, {});
+  };
+  std::string first = run_once();
+  std::string second = run_once();
+  EXPECT_GT(first.size(), 1000u);
+  EXPECT_EQ(first, second);
+}
+
+class SupportSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SupportSweepTest, McacCountMonotoneInSupportThreshold) {
+  static faers::PreprocessResult* pre = nullptr;
+  if (pre == nullptr) pre = new faers::PreprocessResult(BuildCorpus(9, 2500));
+  core::AnalyzerOptions lo_options;
+  lo_options.mining.min_support = GetParam();
+  core::AnalyzerOptions hi_options;
+  hi_options.mining.min_support = GetParam() + 3;
+  auto lo = core::MarasAnalyzer(lo_options).Analyze(*pre);
+  auto hi = core::MarasAnalyzer(hi_options).Analyze(*pre);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_GE(lo->stats.total_rules, hi->stats.total_rules);
+  EXPECT_GE(lo->stats.filtered_rules, hi->stats.filtered_rules);
+  EXPECT_GE(lo->stats.mcac_count, hi->stats.mcac_count);
+  // Every higher-threshold target also exists at the lower threshold.
+  std::set<mining::Itemset> lo_targets;
+  for (const auto& mcac : lo->mcacs) {
+    lo_targets.insert(mcac.target.CompleteItemset());
+  }
+  for (const auto& mcac : hi->mcacs) {
+    EXPECT_TRUE(lo_targets.count(mcac.target.CompleteItemset()) > 0)
+        << mining::ToString(mcac.target.CompleteItemset());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SupportSweepTest,
+                         ::testing::Values(4, 6, 9, 14));
+
+}  // namespace
+}  // namespace maras

@@ -1,0 +1,78 @@
+#ifndef MARAS_TESTS_TEST_UTIL_H_
+#define MARAS_TESTS_TEST_UTIL_H_
+
+// Shared fixtures for core-layer tests: builds an item dictionary plus a
+// transaction database from readable report specs, so tests spell out drugs
+// and ADRs by name instead of raw ids.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mining/item_dictionary.h"
+#include "mining/transaction_db.h"
+
+namespace maras::test {
+
+struct ReportSpec {
+  std::vector<std::string> drugs;
+  std::vector<std::string> adrs;
+};
+
+struct MiniCorpus {
+  mining::ItemDictionary items;
+  mining::TransactionDatabase db;
+
+  mining::ItemId Drug(const std::string& name) {
+    auto id = items.Intern(name, mining::ItemDomain::kDrug);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+  mining::ItemId Adr(const std::string& name) {
+    auto id = items.Intern(name, mining::ItemDomain::kAdr);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  void Add(const ReportSpec& spec, size_t copies = 1) {
+    mining::Itemset t;
+    for (const auto& d : spec.drugs) t.push_back(Drug(d));
+    for (const auto& a : spec.adrs) t.push_back(Adr(a));
+    for (size_t i = 0; i < copies; ++i) db.Add(t);
+  }
+
+  mining::Itemset Drugs(const std::vector<std::string>& names) {
+    mining::Itemset s;
+    for (const auto& n : names) s.push_back(Drug(n));
+    return mining::MakeItemset(std::move(s));
+  }
+  mining::Itemset Adrs(const std::vector<std::string>& names) {
+    mining::Itemset s;
+    for (const auto& n : names) s.push_back(Adr(n));
+    return mining::MakeItemset(std::move(s));
+  }
+};
+
+// The corpus behind the paper's Table 3.1 example: XOLAIR + SINGULAIR +
+// PREDNISONE => ASTHMA as an exclusive three-drug signal, with weak
+// single-drug and pair context.
+inline MiniCorpus AsthmaCorpus() {
+  MiniCorpus corpus;
+  // 12 reports of the full triple with asthma.
+  corpus.Add({{"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"}}, 12);
+  // Individual drugs appear often WITHOUT asthma (strong background use).
+  corpus.Add({{"XOLAIR"}, {"RASH"}}, 20);
+  corpus.Add({{"SINGULAIR"}, {"HEADACHE"}}, 25);
+  corpus.Add({{"PREDNISONE"}, {"INSOMNIA"}}, 30);
+  // A little single-drug asthma reporting (non-zero context).
+  corpus.Add({{"XOLAIR"}, {"ASTHMA"}}, 3);
+  corpus.Add({{"SINGULAIR"}, {"ASTHMA"}}, 2);
+  // Unrelated noise.
+  corpus.Add({{"ASPIRIN"}, {"NAUSEA"}}, 15);
+  return corpus;
+}
+
+}  // namespace maras::test
+
+#endif  // MARAS_TESTS_TEST_UTIL_H_

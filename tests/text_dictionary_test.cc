@@ -1,0 +1,108 @@
+#include "text/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace maras::text {
+namespace {
+
+Dictionary MakeDict() {
+  Dictionary dict;
+  dict.AddCanonical("ASPIRIN");
+  dict.AddCanonical("WARFARIN");
+  dict.AddCanonical("IBUPROFEN");
+  dict.AddCanonical("NEXIUM");
+  EXPECT_TRUE(dict.AddAlias("COUMADIN", "WARFARIN").ok());
+  EXPECT_TRUE(dict.AddAlias("ADVIL", "IBUPROFEN").ok());
+  return dict;
+}
+
+TEST(DictionaryTest, ExactMatch) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("ASPIRIN", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kExact);
+  EXPECT_EQ(match.canonical, "ASPIRIN");
+}
+
+TEST(DictionaryTest, AliasMatch) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("COUMADIN", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kAlias);
+  EXPECT_EQ(match.canonical, "WARFARIN");
+}
+
+TEST(DictionaryTest, FuzzyMatchOneEdit) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("WARFRIN", 1);  // dropped 'A'
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kFuzzy);
+  EXPECT_EQ(match.canonical, "WARFARIN");
+  EXPECT_EQ(match.distance, 1u);
+}
+
+TEST(DictionaryTest, FuzzyTransposition) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("NEXUIM", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kFuzzy);
+  EXPECT_EQ(match.canonical, "NEXIUM");
+}
+
+TEST(DictionaryTest, NoMatchBeyondDistance) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("METFORMIN", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kNone);
+}
+
+TEST(DictionaryTest, ZeroDistanceDisablesFuzzy) {
+  Dictionary dict = MakeDict();
+  auto match = dict.Resolve("WARFRIN", 0);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kNone);
+}
+
+TEST(DictionaryTest, AddCanonicalIdempotent) {
+  Dictionary dict;
+  dict.AddCanonical("X");
+  dict.AddCanonical("X");
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, AliasEqualCanonicalRejected) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.AddAlias("A", "A").IsInvalidArgument());
+}
+
+TEST(DictionaryTest, AliasRegistersCanonicalImplicitly) {
+  Dictionary dict;
+  ASSERT_TRUE(dict.AddAlias("TYLENOL", "ACETAMINOPHEN").ok());
+  EXPECT_TRUE(dict.Contains("ACETAMINOPHEN"));
+  EXPECT_FALSE(dict.Contains("TYLENOL"));  // aliases are not canonical
+}
+
+TEST(DictionaryTest, DeterministicTieBreak) {
+  Dictionary dict;
+  dict.AddCanonical("ABCD");
+  dict.AddCanonical("ABCE");
+  // "ABCF" is distance 1 from both; the lexicographically smaller wins.
+  auto match = dict.Resolve("ABCF", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kFuzzy);
+  EXPECT_EQ(match.canonical, "ABCD");
+}
+
+TEST(DictionaryTest, PrefersSmallerDistance) {
+  Dictionary dict;
+  dict.AddCanonical("AAAB");   // distance 2 from query
+  dict.AddCanonical("AAAAX");  // distance 1 from query
+  auto match = dict.Resolve("AAAAA", 2);
+  EXPECT_EQ(match.canonical, "AAAAX");
+  EXPECT_EQ(match.distance, 1u);
+}
+
+TEST(DictionaryTest, FuzzySearchCrossesLengthBuckets) {
+  Dictionary dict;
+  dict.AddCanonical("PROGRAF");
+  // Query one char longer than the canonical entry.
+  auto match = dict.Resolve("PROGRAFF", 1);
+  EXPECT_EQ(match.kind, Dictionary::MatchKind::kFuzzy);
+  EXPECT_EQ(match.canonical, "PROGRAF");
+}
+
+}  // namespace
+}  // namespace maras::text

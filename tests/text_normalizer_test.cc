@@ -1,0 +1,70 @@
+#include "text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace maras::text {
+namespace {
+
+TEST(NormalizerTest, UppercasesAndTrims) {
+  EXPECT_EQ(NormalizeName("  aspirin  "), "ASPIRIN");
+}
+
+TEST(NormalizerTest, StripsPunctuation) {
+  EXPECT_EQ(NormalizeName("ZOLPIDEM-TARTRATE"), "ZOLPIDEM TARTRATE");
+  EXPECT_EQ(NormalizeName("TYLENOL (UNKNOWN)"), "TYLENOL");
+  EXPECT_EQ(NormalizeName("A/B,C;D"), "A B C D");
+}
+
+TEST(NormalizerTest, CollapsesWhitespace) {
+  EXPECT_EQ(NormalizeName("ZOLEDRONIC   ACID"), "ZOLEDRONIC ACID");
+}
+
+TEST(NormalizerTest, StripsDoseTokens) {
+  EXPECT_EQ(NormalizeName("WARFARIN 5MG"), "WARFARIN");
+  EXPECT_EQ(NormalizeName("ASPIRIN 100MG TABLET"), "ASPIRIN");
+  EXPECT_EQ(NormalizeName("NEXIUM 0.5ML INJECTION"), "NEXIUM");
+  EXPECT_EQ(NormalizeName("PROGRAF CAPSULES"), "PROGRAF");
+}
+
+TEST(NormalizerTest, NeverEmptiesNameEntirely) {
+  // A name that is all dose tokens keeps its content rather than vanishing.
+  EXPECT_EQ(NormalizeName("10MG TABLET"), "10MG TABLET");
+}
+
+TEST(NormalizerTest, OptionsDisableSteps) {
+  NormalizerOptions opts;
+  opts.uppercase = false;
+  opts.strip_dose_tokens = false;
+  opts.strip_punctuation = false;
+  opts.collapse_whitespace = false;
+  EXPECT_EQ(NormalizeName("aspirin 5MG", opts), "aspirin 5MG");
+}
+
+TEST(NormalizerTest, IdempotentOnCanonicalNames) {
+  for (const char* name :
+       {"ASPIRIN", "ZOLEDRONIC ACID", "OSTEONECROSIS OF JAW",
+        "GRANULOCYTE COLONY-STIMULATING FACTOR NOS"}) {
+    std::string once = NormalizeName(name);
+    EXPECT_EQ(NormalizeName(once), once) << name;
+  }
+}
+
+TEST(DoseTokenTest, RecognizesDoseForms) {
+  EXPECT_TRUE(IsDoseOrFormToken("10MG"));
+  EXPECT_TRUE(IsDoseOrFormToken("0.5ML"));
+  EXPECT_TRUE(IsDoseOrFormToken("250MCG"));
+  EXPECT_TRUE(IsDoseOrFormToken("TABLET"));
+  EXPECT_TRUE(IsDoseOrFormToken("CAPSULES"));
+  EXPECT_TRUE(IsDoseOrFormToken("INJECTION"));
+  EXPECT_TRUE(IsDoseOrFormToken("100"));
+}
+
+TEST(DoseTokenTest, RejectsDrugNames) {
+  EXPECT_FALSE(IsDoseOrFormToken("ASPIRIN"));
+  EXPECT_FALSE(IsDoseOrFormToken("MG"));       // unit without number
+  EXPECT_FALSE(IsDoseOrFormToken("B12"));      // letter-first
+  EXPECT_FALSE(IsDoseOrFormToken(""));
+}
+
+}  // namespace
+}  // namespace maras::text

@@ -1,0 +1,55 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace maras::text {
+namespace {
+
+TEST(SoundexTest, ClassicReferenceCodes) {
+  EXPECT_EQ(Soundex("ROBERT"), "R163");
+  EXPECT_EQ(Soundex("RUPERT"), "R163");
+  EXPECT_EQ(Soundex("ASHCRAFT"), "A261");  // H-transparency case
+  EXPECT_EQ(Soundex("TYMCZAK"), "T522");   // vowel-separated repeats
+  EXPECT_EQ(Soundex("PFISTER"), "P236");
+  EXPECT_EQ(Soundex("HONEYMAN"), "H555");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("robert"), "R163");
+  EXPECT_EQ(Soundex("Ro-Bert 5MG"), Soundex("ROBERT"));
+}
+
+TEST(SoundexTest, PaddingAndTruncation) {
+  EXPECT_EQ(Soundex("A"), "A000");
+  EXPECT_EQ(Soundex("AB"), "A100");
+  EXPECT_EQ(Soundex("ABCDEFGHIJKLMNOP"), Soundex("ABCD").substr(0, 4));
+  EXPECT_EQ(Soundex("ABCDEFGHIJKLMNOP").size(), 4u);
+}
+
+TEST(SoundexTest, NoLettersEncodesEmpty) {
+  EXPECT_EQ(Soundex("1234"), "");
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("  .. "), "");
+}
+
+TEST(SoundsAlikeTest, DrugNameConfusions) {
+  // Phonetic misspellings edit distance alone scores poorly.
+  EXPECT_TRUE(SoundsAlike("ZANTAC", "ZANTACK"));
+  EXPECT_TRUE(SoundsAlike("CELEBREX", "SELEBREX") ||
+              Soundex("CELEBREX") != Soundex("SELEBREX"));
+  EXPECT_TRUE(SoundsAlike("PROZAC", "PROZAK"));
+  EXPECT_FALSE(SoundsAlike("ASPIRIN", "WARFARIN"));
+}
+
+TEST(SoundsAlikeTest, EmptyNeverMatches) {
+  EXPECT_FALSE(SoundsAlike("", ""));
+  EXPECT_FALSE(SoundsAlike("123", "123"));
+}
+
+TEST(SoundexTest, AdjacentSameClassCollapses) {
+  // S and C are both class 2; the run emits one digit.
+  EXPECT_EQ(Soundex("JACKSON"), "J250");
+}
+
+}  // namespace
+}  // namespace maras::text

@@ -1,0 +1,163 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace maras::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->as_bool());
+  EXPECT_FALSE(Parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.5e2")->as_number(), -350.0);
+  EXPECT_EQ(Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, Containers) {
+  auto v = Parse("[1, \"two\", [true], {\"k\": null}]");
+  ASSERT_TRUE(v.ok());
+  const auto& array = v->as_array();
+  ASSERT_EQ(array.size(), 4u);
+  EXPECT_DOUBLE_EQ(array[0].as_number(), 1.0);
+  EXPECT_EQ(array[1].as_string(), "two");
+  EXPECT_TRUE(array[2].as_array()[0].as_bool());
+  EXPECT_TRUE(array[3].Find("k")->is_null());
+}
+
+TEST(JsonParseTest, NestedObjectLookup) {
+  auto v = Parse(R"({"a": {"b": {"c": 7}}})");
+  ASSERT_TRUE(v.ok());
+  const Value* c = v->FindPath({"a", "b", "c"});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->as_number(), 7.0);
+  EXPECT_EQ(v->FindPath({"a", "x"}), nullptr);
+  EXPECT_EQ(v->FindPath({"a", "b", "c", "d"}), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeUtf8) {
+  auto v = Parse(R"("\u00e9\u20ac")");  // é and €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto v = Parse("  {\n\t\"a\" : [ 1 , 2 ] \r\n}  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, Malformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "[1 2]",
+        "{\"a\" 1}", "01a", "{'single': 1}", "[1],[2]", "nan",
+        "\"bad \\x escape\"", "\"\\u00g0\""}) {
+    auto v = Parse(bad);
+    EXPECT_FALSE(v.ok()) << "input: " << bad;
+    EXPECT_TRUE(v.status().IsCorruption()) << bad;
+  }
+}
+
+TEST(JsonParseTest, ControlCharacterRejected) {
+  std::string s = "\"a\x01b\"";
+  EXPECT_FALSE(Parse(s).ok());
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+  std::string fine(50, '[');
+  fine += std::string(50, ']');
+  EXPECT_TRUE(Parse(fine).ok());
+}
+
+TEST(JsonSerializeTest, Compact) {
+  Value v(Value::Object{{"b", Value(2)}, {"a", Value(Value::Array{
+                                             Value(1), Value("x")})}});
+  // Keys serialize in sorted order -> deterministic output.
+  EXPECT_EQ(Serialize(v), R"({"a":[1,"x"],"b":2})");
+}
+
+TEST(JsonSerializeTest, EscapesInOutput) {
+  Value v(std::string("line\nbreak \"quoted\""));
+  EXPECT_EQ(Serialize(v), R"("line\nbreak \"quoted\"")");
+}
+
+TEST(JsonSerializeTest, IntegersWithoutDecimalPoint) {
+  EXPECT_EQ(Serialize(Value(12345)), "12345");
+  EXPECT_EQ(Serialize(Value(0.5)), "0.5");
+}
+
+TEST(JsonSerializeTest, EmptyContainers) {
+  EXPECT_EQ(Serialize(Value(Value::Array{})), "[]");
+  EXPECT_EQ(Serialize(Value(Value::Object{})), "{}");
+}
+
+TEST(JsonRoundTripTest, ParseSerializeParseStable) {
+  const char* docs[] = {
+      R"({"results":[{"id":"1","vals":[1,2.5,-3]},{"id":"2","flag":true}]})",
+      R"([null, [], {}, "", 0])",
+      R"({"nested":{"a":{"b":[{"c":1}]}}})",
+  };
+  for (const char* doc : docs) {
+    auto first = Parse(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    std::string serialized = Serialize(*first);
+    auto second = Parse(serialized);
+    ASSERT_TRUE(second.ok()) << serialized;
+    EXPECT_EQ(Serialize(*second), serialized);
+  }
+}
+
+TEST(JsonRoundTripTest, PrettyOutputReparses) {
+  auto v = Parse(R"({"a":[1,{"b":"c"}],"d":null})");
+  ASSERT_TRUE(v.ok());
+  std::string pretty = Serialize(*v, /*pretty=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(Serialize(*reparsed), Serialize(*v));
+}
+
+// Fuzz-ish robustness: random byte mutations of a valid document must never
+// crash — they either parse or return Corruption.
+TEST(JsonFuzzTest, MutationsNeverCrash) {
+  const std::string base =
+      R"({"results":[{"safetyreportid":"1","patient":{"drug":[{"medicinalproduct":"ASPIRIN"}]}}]})";
+  maras::Rng rng(616);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    auto v = Parse(mutated);  // must not crash
+    if (!v.ok()) {
+      EXPECT_TRUE(v.status().IsCorruption());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maras::json

@@ -1,0 +1,106 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace maras {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MARAS_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    MARAS_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsAlreadyExists());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    MARAS_ASSIGN_OR_RETURN(int x, inner(fail));
+    return x * 2;
+  };
+  ASSERT_TRUE(outer(false).ok());
+  EXPECT_EQ(*outer(false), 20);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+}  // namespace
+}  // namespace maras

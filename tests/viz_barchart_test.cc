@@ -1,0 +1,108 @@
+#include "viz/barchart.h"
+
+#include <gtest/gtest.h>
+
+#include "viz/panorama.h"
+
+namespace maras::viz {
+namespace {
+
+GlyphSpec SampleSpec() {
+  GlyphSpec spec;
+  spec.target_value = 0.8;
+  spec.levels = {{0.3, 0.1}};
+  spec.title = "pair cluster";
+  return spec;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  return count;
+}
+
+TEST(BarChartTest, OneBarPerRule) {
+  BarChartRenderer renderer;
+  std::string svg = renderer.Render(SampleSpec()).Render();
+  // 1 target + 2 context bars + 1 legend-free layout; axes add lines.
+  // Bars are rects; the only other rects would be legend chips (none here).
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), 3u);
+  EXPECT_NE(svg.find("pair cluster"), std::string::npos);
+}
+
+TEST(BarChartTest, AxisGridAndTicksPresent) {
+  BarChartRenderer renderer;
+  std::string svg = renderer.Render(SampleSpec()).Render();
+  EXPECT_GE(CountOccurrences(svg, "<line"), 6u);  // 2 axes + 5 gridlines
+  EXPECT_NE(svg.find("confidence"), std::string::npos);
+  EXPECT_NE(svg.find("1.00"), std::string::npos);
+  EXPECT_NE(svg.find("0.50"), std::string::npos);
+}
+
+TEST(BarChartTest, ShowValuesAnnotatesBars) {
+  BarChartOptions options;
+  options.show_values = true;
+  BarChartRenderer renderer(options);
+  std::string svg = renderer.Render(SampleSpec()).Render();
+  EXPECT_NE(svg.find(">0.80</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">0.30</text>"), std::string::npos);
+}
+
+TEST(BarChartTest, GroupedSeriesRendersLegend) {
+  BarChartRenderer renderer(BarChartOptions{.max_value = 100.0,
+                                            .y_label = "% correct"});
+  std::vector<BarChartRenderer::Series> series = {
+      {"Contextual Glyph", {71, 57, 86}},
+      {"Barchart", {50, 40, 30}},
+  };
+  std::string svg =
+      renderer.RenderGrouped({"Two", "Three", "Four"}, series,
+                             "User study results")
+          .Render();
+  EXPECT_NE(svg.find("Contextual Glyph"), std::string::npos);
+  EXPECT_NE(svg.find("Barchart"), std::string::npos);
+  EXPECT_NE(svg.find("Two"), std::string::npos);
+  EXPECT_NE(svg.find("Four"), std::string::npos);
+  EXPECT_NE(svg.find("User study results"), std::string::npos);
+  // 6 bars + 2 legend chips.
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), 8u);
+}
+
+TEST(BarChartTest, GroupedHandlesEmptyInput) {
+  BarChartRenderer renderer;
+  std::string svg = renderer.RenderGrouped({}, {}, "empty").Render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(PanoramaTest, GridOfGlyphsWithCaptions) {
+  PanoramaOptions options;
+  options.columns = 3;
+  PanoramaRenderer renderer(options);
+  std::vector<PanoramaEntry> entries;
+  for (int i = 0; i < 7; ++i) {
+    PanoramaEntry entry;
+    entry.spec.target_value = 0.5 + 0.05 * i;
+    entry.spec.levels = {{0.2, 0.1}};
+    entry.score = 1.0 - 0.1 * i;
+    entries.push_back(entry);
+  }
+  std::string svg = renderer.Render(entries, "Panoramagram").Render();
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 7u);
+  EXPECT_NE(svg.find("#1"), std::string::npos);
+  EXPECT_NE(svg.find("#7"), std::string::npos);
+  EXPECT_NE(svg.find("score 1.000"), std::string::npos);
+  EXPECT_NE(svg.find("Panoramagram"), std::string::npos);
+}
+
+TEST(PanoramaTest, EmptyEntriesStillRenders) {
+  PanoramaRenderer renderer;
+  std::string svg = renderer.Render({}, "nothing").Render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maras::viz

@@ -1,0 +1,94 @@
+#include "viz/linechart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace maras::viz {
+namespace {
+
+size_t Count(const std::string& haystack, const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  return count;
+}
+
+std::vector<LineChartRenderer::Series> TwoSeries() {
+  return {{"alpha", {0.1, 0.4, 0.3, 0.8}}, {"beta", {0.5, 0.5, 0.6, 0.2}}};
+}
+
+TEST(LineChartTest, DrawsSegmentsAndMarkers) {
+  LineChartOptions chart_options;
+  chart_options.y_min = 0;
+  chart_options.y_max = 1;
+  LineChartRenderer renderer(chart_options);
+  std::string svg =
+      renderer.Render({"Q1", "Q2", "Q3", "Q4"}, TwoSeries(), "trend")
+          .Render();
+  // 2 axes + 5 gridlines + 2 series × 3 segments = 13 lines.
+  EXPECT_EQ(Count(svg, "<line"), 13u);
+  // 8 data markers.
+  EXPECT_EQ(Count(svg, "<circle"), 8u);
+  EXPECT_NE(svg.find("alpha"), std::string::npos);
+  EXPECT_NE(svg.find("beta"), std::string::npos);
+  EXPECT_NE(svg.find("trend"), std::string::npos);
+  EXPECT_NE(svg.find("Q3"), std::string::npos);
+}
+
+TEST(LineChartTest, NanBreaksLine) {
+  LineChartOptions chart_options;
+  chart_options.y_min = 0;
+  chart_options.y_max = 1;
+  LineChartRenderer renderer(chart_options);
+  std::vector<LineChartRenderer::Series> series = {
+      {"gap", {0.1, std::nan(""), 0.3, 0.4}}};
+  std::string svg =
+      renderer.Render({"a", "b", "c", "d"}, series, "").Render();
+  // Axes (2) + grid (5) + only ONE drawable segment (c->d).
+  EXPECT_EQ(Count(svg, "<line"), 8u);
+  // Markers only at finite points.
+  EXPECT_EQ(Count(svg, "<circle"), 3u);
+}
+
+TEST(LineChartTest, AutoScaleCoversData) {
+  LineChartRenderer renderer;  // y_max defaults to auto
+  std::vector<LineChartRenderer::Series> series = {{"s", {10.0, 250.0}}};
+  std::string svg = renderer.Render({"a", "b"}, series, "").Render();
+  // The top tick must reach at least the max value (with head room).
+  EXPECT_NE(svg.find("262.50"), std::string::npos);
+}
+
+TEST(LineChartTest, MarkersCanBeDisabled) {
+  LineChartOptions options;
+  options.y_min = 0;
+  options.y_max = 1;
+  options.show_markers = false;
+  LineChartRenderer renderer(options);
+  std::string svg =
+      renderer.Render({"a", "b"}, {{"s", {0.2, 0.8}}}, "").Render();
+  EXPECT_EQ(Count(svg, "<circle"), 0u);
+}
+
+TEST(LineChartTest, SingleCategoryCentersPoint) {
+  LineChartOptions chart_options;
+  chart_options.y_min = 0;
+  chart_options.y_max = 1;
+  LineChartRenderer renderer(chart_options);
+  std::string svg = renderer.Render({"only"}, {{"s", {0.5}}}, "").Render();
+  EXPECT_EQ(Count(svg, "<circle"), 1u);
+  // No segments, just axes + grid.
+  EXPECT_EQ(Count(svg, "<line"), 7u);
+}
+
+TEST(LineChartTest, EmptyInputsStillValidSvg) {
+  LineChartRenderer renderer;
+  std::string svg = renderer.Render({}, {}, "empty").Render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maras::viz
