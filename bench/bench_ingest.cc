@@ -1,0 +1,101 @@
+// Micro-benchmarks for the resilient ingestion layer: the cost of the
+// policy-aware ASCII reader on clean data (strict vs quarantine), recovery
+// from a corrupted quarter, and the corruption harness itself. Strict-mode
+// parsing of clean data is the hot path — the lenient policies must not tax
+// it.
+
+#include <benchmark/benchmark.h>
+
+#include "faers/ascii_format.h"
+#include "faers/corruptor.h"
+#include "faers/generator.h"
+
+namespace {
+
+using namespace maras;
+
+faers::AsciiQuarterFiles CleanQuarter(size_t reports) {
+  faers::GeneratorConfig config;
+  config.seed = 20140101;
+  config.n_reports = reports;
+  config.n_drugs = 1000;
+  config.n_adrs = 400;
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  auto files = faers::WriteAsciiQuarter(*dataset);
+  return *files;
+}
+
+faers::IngestOptions PolicyOptions(faers::IngestPolicy policy) {
+  faers::IngestOptions options;
+  options.policy = policy;
+  options.max_bad_row_fraction = 0.5;
+  return options;
+}
+
+void BM_IngestCleanStrict(benchmark::State& state) {
+  faers::AsciiQuarterFiles files =
+      CleanQuarter(static_cast<size_t>(state.range(0)));
+  size_t reports = 0;
+  for (auto _ : state) {
+    auto parsed = faers::ReadAsciiQuarter(files, 2014, 1);
+    benchmark::DoNotOptimize(reports = parsed->reports.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(reports));
+}
+BENCHMARK(BM_IngestCleanStrict)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_IngestCleanQuarantine(benchmark::State& state) {
+  faers::AsciiQuarterFiles files =
+      CleanQuarter(static_cast<size_t>(state.range(0)));
+  faers::IngestOptions options =
+      PolicyOptions(faers::IngestPolicy::kQuarantine);
+  size_t reports = 0;
+  for (auto _ : state) {
+    faers::IngestReport report;
+    auto parsed = faers::ReadAsciiQuarter(files, 2014, 1, options, &report);
+    benchmark::DoNotOptimize(reports = parsed->reports.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(reports));
+}
+BENCHMARK(BM_IngestCleanQuarantine)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_IngestCorruptedQuarantine(benchmark::State& state) {
+  faers::AsciiQuarterFiles clean =
+      CleanQuarter(static_cast<size_t>(state.range(0)));
+  faers::CorruptorConfig config;
+  config.seed = 7;
+  config.faults = faers::AllRowFaults(8);
+  auto corrupted = faers::Corruptor(config).Corrupt(clean, 2014, 1);
+  faers::IngestOptions options =
+      PolicyOptions(faers::IngestPolicy::kQuarantine);
+  size_t rejected = 0;
+  for (auto _ : state) {
+    faers::IngestReport report;
+    auto parsed =
+        faers::ReadAsciiQuarter(corrupted->files, 2014, 1, options, &report);
+    benchmark::DoNotOptimize(parsed->reports.size());
+    rejected = report.rows_rejected;
+  }
+  state.counters["rows_rejected"] = static_cast<double>(rejected);
+}
+BENCHMARK(BM_IngestCorruptedQuarantine)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_CorruptQuarter(benchmark::State& state) {
+  faers::AsciiQuarterFiles clean = CleanQuarter(4000);
+  faers::CorruptorConfig config;
+  config.seed = 7;
+  config.faults = faers::AllRowFaults(static_cast<size_t>(state.range(0)));
+  faers::Corruptor corruptor(config);
+  for (auto _ : state) {
+    auto corrupted = corruptor.Corrupt(clean, 2014, 1);
+    benchmark::DoNotOptimize(corrupted->faults.size());
+  }
+}
+BENCHMARK(BM_CorruptQuarter)->Arg(4)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -41,6 +41,10 @@ struct AnalysisResult {
   RuleSpaceStats stats;
   // All MCACs (unranked). Use RankMcacs or Analyzer helpers to order them.
   std::vector<Mcac> mcacs;
+  // Ingestion warnings carried through from a degraded (permissive or
+  // quarantine) ingest so downstream consumers see what the mined corpus is
+  // missing. Empty for clean strict runs — the exported JSON is unchanged.
+  std::vector<std::string> ingest_warnings;
 };
 
 // The MARAS pipeline facade (Fig. 1.1): mine closed drug-ADR associations
@@ -53,6 +57,13 @@ class MarasAnalyzer {
   // Runs mining + MCAC construction on a preprocessed quarter.
   maras::StatusOr<AnalysisResult> Analyze(
       const faers::PreprocessResult& input) const;
+
+  // As above, attaching the ingestion accounting of the corpus: the
+  // IngestReport's warnings (plus a summary line when rows were rejected)
+  // land in AnalysisResult::ingest_warnings.
+  maras::StatusOr<AnalysisResult> Analyze(
+      const faers::PreprocessResult& input,
+      const faers::IngestReport& ingest) const;
 
   // Lower-level entry point when transactions were built elsewhere.
   maras::StatusOr<AnalysisResult> Analyze(

@@ -1,5 +1,7 @@
 #include "core/multi_quarter.h"
 
+#include "faers/ascii_format.h"
+#include "faers/dedup.h"
 #include "mining/measures.h"
 
 namespace maras::core {
@@ -111,6 +113,108 @@ const char* TrendVerdictName(TrendVerdict verdict) {
       return "insufficient";
   }
   return "?";
+}
+
+namespace {
+
+// Merges the per-quarter PreprocessResults that survived ingestion. The
+// callers guarantee at least one entry.
+maras::StatusOr<faers::PreprocessResult> MergeLoaded(
+    const std::vector<faers::PreprocessResult>& loaded) {
+  std::vector<const faers::PreprocessResult*> pointers;
+  pointers.reserve(loaded.size());
+  for (const faers::PreprocessResult& quarter : loaded) {
+    pointers.push_back(&quarter);
+  }
+  return MergeQuarters(pointers);
+}
+
+}  // namespace
+
+maras::StatusOr<faers::PreprocessResult> MultiQuarterPipeline::ProcessQuarter(
+    const faers::QuarterDataset& dataset, QuarterOutcome* outcome) const {
+  if (options_.validate) {
+    faers::ValidationReport validation =
+        faers::ValidateDataset(dataset, options_.validation);
+    MARAS_RETURN_IF_ERROR(faers::EnforceValidation(
+        validation, options_.ingest, &outcome->ingest));
+  }
+  faers::Preprocessor preprocessor(options_.preprocess);
+  if (options_.remove_duplicates) {
+    faers::QuarterDataset deduped = faers::RemoveDuplicateCases(
+        dataset, options_.ingest, &outcome->ingest);
+    return preprocessor.Process(deduped, &outcome->ingest);
+  }
+  return preprocessor.Process(dataset, &outcome->ingest);
+}
+
+template <typename Quarter, typename LabelFn, typename LoadFn>
+static maras::StatusOr<MultiQuarterRun> RunPipeline(
+    const MultiQuarterOptions& options, const std::vector<Quarter>& quarters,
+    LabelFn&& label_of, LoadFn&& load_one) {
+  const bool strict =
+      options.ingest.policy == faers::IngestPolicy::kStrict;
+  MultiQuarterRun run;
+  std::vector<faers::PreprocessResult> loaded;
+  for (const Quarter& quarter : quarters) {
+    QuarterOutcome outcome;
+    outcome.label = label_of(quarter);
+    auto processed = load_one(quarter, &outcome);
+    if (processed.ok()) {
+      outcome.loaded = true;
+      ++run.quarters_loaded;
+      loaded.push_back(*std::move(processed));
+    } else {
+      if (strict) {
+        return maras::WithContext(processed.status(),
+                                  "quarter " + outcome.label);
+      }
+      outcome.error = processed.status().ToString();
+      run.ingest.warnings.push_back("skipping quarter " + outcome.label +
+                                    ": " + outcome.error);
+    }
+    run.ingest.Merge(outcome.ingest);
+    run.outcomes.push_back(std::move(outcome));
+  }
+  if (loaded.empty()) {
+    return maras::Status::Corruption(
+        "all " + std::to_string(quarters.size()) +
+        " quarters failed ingestion");
+  }
+  MARAS_ASSIGN_OR_RETURN(run.merged, MergeLoaded(loaded));
+  return run;
+}
+
+maras::StatusOr<MultiQuarterRun> MultiQuarterPipeline::RunFromDirs(
+    const std::vector<QuarterSource>& sources) const {
+  if (sources.empty()) {
+    return maras::Status::InvalidArgument("no quarters to ingest");
+  }
+  return RunPipeline(
+      options_, sources,
+      [](const QuarterSource& source) { return source.Label(); },
+      [this](const QuarterSource& source, QuarterOutcome* outcome)
+          -> maras::StatusOr<faers::PreprocessResult> {
+        MARAS_ASSIGN_OR_RETURN(
+            faers::QuarterDataset dataset,
+            faers::ReadAsciiQuarterFromDir(source.directory, source.year,
+                                           source.quarter, options_.ingest,
+                                           &outcome->ingest));
+        return ProcessQuarter(dataset, outcome);
+      });
+}
+
+maras::StatusOr<MultiQuarterRun> MultiQuarterPipeline::Run(
+    const std::vector<faers::QuarterDataset>& quarters) const {
+  if (quarters.empty()) {
+    return maras::Status::InvalidArgument("no quarters to ingest");
+  }
+  return RunPipeline(
+      options_, quarters,
+      [](const faers::QuarterDataset& dataset) { return dataset.Label(); },
+      [this](const faers::QuarterDataset& dataset, QuarterOutcome* outcome) {
+        return ProcessQuarter(dataset, outcome);
+      });
 }
 
 TrendVerdict ClassifyTrend(const std::vector<QuarterlySignalTrend>& trend,

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "core/drug_adr_rule.h"
+#include "faers/ingest.h"
 #include "faers/preprocess.h"
+#include "faers/validate.h"
 #include "util/statusor.h"
 
 namespace maras::core {
@@ -51,6 +53,81 @@ enum class TrendVerdict { kEmerging, kStable, kFading, kInsufficient };
 const char* TrendVerdictName(TrendVerdict verdict);
 TrendVerdict ClassifyTrend(const std::vector<QuarterlySignalTrend>& trend,
                            double margin = 0.1);
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant multi-quarter ingestion. A surveillance run spans many
+// quarterly extracts of varying quality; under a permissive policy one
+// unreadable quarter must degrade the run (with a recorded warning), not
+// abort it. The pipeline reads each quarter under the configured
+// IngestPolicy, validates it, optionally removes near-duplicate cases,
+// preprocesses it, and pools the survivors with MergeQuarters.
+// ---------------------------------------------------------------------------
+
+// One quarterly extract on disk, in FAERS ASCII naming (DEMO14Q1.txt ...).
+struct QuarterSource {
+  std::string directory;
+  int year = 0;
+  int quarter = 0;  // 1..4
+
+  std::string Label() const {
+    return std::to_string(year) + "Q" + std::to_string(quarter);
+  }
+};
+
+struct MultiQuarterOptions {
+  faers::IngestOptions ingest;
+  faers::PreprocessOptions preprocess;
+  faers::ValidationOptions validation;
+  // Gate each quarter on ValidateDataset + EnforceValidation.
+  bool validate = true;
+  // Remove near-duplicate cases (faers/dedup) before preprocessing.
+  bool remove_duplicates = false;
+};
+
+// Per-quarter outcome: either it contributed to the merged corpus, or it was
+// skipped with the failure recorded.
+struct QuarterOutcome {
+  std::string label;
+  bool loaded = false;
+  std::string error;            // why the quarter was skipped, empty if loaded
+  faers::IngestReport ingest;   // this quarter's row-level accounting
+};
+
+struct MultiQuarterRun {
+  faers::PreprocessResult merged;
+  std::vector<QuarterOutcome> outcomes;
+  // Combined accounting across all quarters, including one warning per
+  // skipped quarter — hand this to the analyzer/report layer so a degraded
+  // run is visible downstream.
+  faers::IngestReport ingest;
+  size_t quarters_loaded = 0;
+};
+
+class MultiQuarterPipeline {
+ public:
+  explicit MultiQuarterPipeline(MultiQuarterOptions options)
+      : options_(std::move(options)) {}
+
+  // Ingests quarterly extracts from disk. Under kStrict the first failing
+  // quarter fails the run (with the quarter's label as context); under
+  // kPermissive/kQuarantine failing quarters are skipped with warnings and
+  // the run fails only when *no* quarter survives.
+  maras::StatusOr<MultiQuarterRun> RunFromDirs(
+      const std::vector<QuarterSource>& sources) const;
+
+  // Same recovery semantics for quarters already parsed into memory.
+  maras::StatusOr<MultiQuarterRun> Run(
+      const std::vector<faers::QuarterDataset>& quarters) const;
+
+  const MultiQuarterOptions& options() const { return options_; }
+
+ private:
+  // Validation + dedup + preprocess for one readable quarter.
+  maras::StatusOr<faers::PreprocessResult> ProcessQuarter(
+      const faers::QuarterDataset& dataset, QuarterOutcome* outcome) const;
+
+  MultiQuarterOptions options_;
+};
 
 }  // namespace maras::core
 

@@ -1,7 +1,10 @@
 #include "faers/ascii_format.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <set>
 
 #include "util/delimited.h"
 #include "util/string_util.h"
@@ -22,6 +25,80 @@ std::string FormatAge(double age) {
   if (age < 0) return "";
   return maras::FormatDouble(age, 0);
 }
+
+// ---------------------------------------------------------------------------
+// Validated numeric parsing. strtoull("12ab", ...) silently stops at 'a' and
+// strtoull("garbage", ...) coerces to 0; FAERS identifiers are plain decimal,
+// so anything else is a row-level fault that must surface as a diagnostic,
+// not a primaryid of 0.
+// ---------------------------------------------------------------------------
+
+bool ParseUint64Field(const std::string& field, uint64_t* out) {
+  if (field.empty()) return false;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint32Field(const std::string& field, uint32_t* out) {
+  uint64_t wide = 0;
+  if (!ParseUint64Field(field, &wide) || wide > 0xFFFFFFFFull) return false;
+  *out = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool ParseAgeField(const std::string& field, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(field.c_str(), &end);
+  if (errno == ERANGE || end != field.c_str() + field.size()) return false;
+  *out = value;
+  return true;
+}
+
+// Best-effort primaryid of a malformed line: its first '$'-field, when that
+// still parses. Lets permissive mode classify the row's DRUG/REAC children
+// as collateral of the rejected DEMO row rather than as orphans.
+bool PrimaryIdPrefix(const std::string& line, uint64_t* out) {
+  return ParseUint64Field(line.substr(0, line.find(kDelim)), out);
+}
+
+// Per-table ingestion context shared by the row loops below.
+struct TableIngest {
+  const IngestOptions* options;
+  IngestReport* report;  // never null inside ReadAsciiQuarter
+  std::string file;      // e.g. "DEMO14Q1.txt"
+  bool strict;
+
+  bool quarantining() const {
+    return options->policy == IngestPolicy::kQuarantine;
+  }
+
+  // Records one rejected row. Returns the strict-mode status (Corruption with
+  // file:line context) the caller must propagate when `strict`.
+  maras::Status Reject(RowFault fault, size_t line, const std::string& column,
+                       const std::string& reason, const std::string& content) {
+    if (strict) {
+      return maras::WithContext(
+          maras::Status::Corruption(reason),
+          file + ":" + std::to_string(line) +
+              (column.empty() ? "" : " (" + column + ")"));
+    }
+    ++report->rows_rejected;
+    if (fault == RowFault::kCollateral) ++report->collateral_rows;
+    if (quarantining()) {
+      report->Quarantine(*options, QuarantinedRow{fault, file, line, column,
+                                                  reason, content});
+    }
+    return maras::Status::OK();
+  }
+};
 
 }  // namespace
 
@@ -66,24 +143,51 @@ maras::Status WriteAsciiQuarterToDir(const QuarterDataset& dataset,
                                      const std::string& directory) {
   MARAS_ASSIGN_OR_RETURN(AsciiQuarterFiles files, WriteAsciiQuarter(dataset));
   std::string suffix = FileSuffix(dataset.year, dataset.quarter);
-  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
-      directory + "/DEMO" + suffix + ".txt", files.demo));
-  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
-      directory + "/DRUG" + suffix + ".txt", files.drug));
-  MARAS_RETURN_IF_ERROR(maras::WriteStringToFile(
-      directory + "/REAC" + suffix + ".txt", files.reac));
+  std::string demo_path = directory + "/DEMO" + suffix + ".txt";
+  std::string drug_path = directory + "/DRUG" + suffix + ".txt";
+  std::string reac_path = directory + "/REAC" + suffix + ".txt";
+  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(demo_path, files.demo),
+                            demo_path);
+  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(drug_path, files.drug),
+                            drug_path);
+  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(reac_path, files.reac),
+                            reac_path);
   return maras::Status::OK();
 }
 
 maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
     const AsciiQuarterFiles& files, int year, int quarter) {
+  return ReadAsciiQuarter(files, year, quarter, IngestOptions{});
+}
+
+maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
+    const AsciiQuarterFiles& files, int year, int quarter,
+    const IngestOptions& options, IngestReport* report) {
+  const bool strict = options.policy == IngestPolicy::kStrict;
+  IngestReport local;
+  IngestReport* acc = &local;
+
+  std::string suffix = FileSuffix(year, quarter);
+  std::string demo_file = "DEMO" + suffix + ".txt";
+  std::string drug_file = "DRUG" + suffix + ".txt";
+  std::string reac_file = "REAC" + suffix + ".txt";
+
   maras::DelimitedReader reader(kDelim);
+  std::vector<maras::DelimitedRowIssue> demo_issues, drug_issues, reac_issues;
+  auto parse_table = [&](const std::string& content, const std::string& file,
+                         std::vector<maras::DelimitedRowIssue>* issues)
+      -> maras::StatusOr<maras::DelimitedTable> {
+    auto table = strict ? reader.ParseString(content)
+                        : reader.ParseString(content, issues);
+    if (!table.ok()) return maras::WithContext(table.status(), file);
+    return table;
+  };
   MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable demo,
-                         reader.ParseString(files.demo));
+                         parse_table(files.demo, demo_file, &demo_issues));
   MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable drug,
-                         reader.ParseString(files.drug));
+                         parse_table(files.drug, drug_file, &drug_issues));
   MARAS_ASSIGN_OR_RETURN(maras::DelimitedTable reac,
-                         reader.ParseString(files.reac));
+                         parse_table(files.reac, reac_file, &reac_issues));
 
   int d_primary = demo.ColumnIndex("primaryid");
   int d_caseid = demo.ColumnIndex("caseid");
@@ -93,7 +197,9 @@ maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
   int d_sex = demo.ColumnIndex("sex");
   int d_country = demo.ColumnIndex("occr_country");
   if (d_primary < 0 || d_caseid < 0 || d_version < 0 || d_rept < 0) {
-    return maras::Status::Corruption("DEMO table missing required columns");
+    return maras::WithContext(
+        maras::Status::Corruption("DEMO table missing required columns"),
+        demo_file);
   }
 
   QuarterDataset dataset;
@@ -101,77 +207,184 @@ maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
   dataset.quarter = quarter;
   // primaryid -> index into dataset.reports, ordered by first appearance.
   std::map<uint64_t, size_t> by_primary;
-  for (const auto& row : demo.rows) {
-    Report r;
-    char* end = nullptr;
-    r.case_id = std::strtoull(row[d_caseid].c_str(), &end, 10);
-    r.case_version =
-        static_cast<uint32_t>(std::strtoul(row[d_version].c_str(), &end, 10));
-    if (!ParseReportType(row[d_rept], &r.type)) {
-      return maras::Status::Corruption("bad rept_cod: " + row[d_rept]);
+  // Primaryids of DEMO rows rejected here — their DRUG/REAC rows are
+  // collateral damage of the root fault, not independent orphans.
+  std::set<uint64_t> rejected_primary;
+
+  TableIngest demo_ctx{&options, acc, demo_file, strict};
+  acc->rows_seen += demo.rows.size() + demo_issues.size();
+  for (const maras::DelimitedRowIssue& issue : demo_issues) {
+    MARAS_RETURN_IF_ERROR(demo_ctx.Reject(RowFault::kMalformedRow, issue.line,
+                                          "", issue.reason, issue.content));
+    uint64_t primary = 0;
+    if (PrimaryIdPrefix(issue.content, &primary)) {
+      rejected_primary.insert(primary);
     }
-    if (d_age >= 0 && !row[d_age].empty()) {
-      r.age = std::strtod(row[d_age].c_str(), &end);
+  }
+  for (size_t i = 0; i < demo.rows.size(); ++i) {
+    const auto& row = demo.rows[i];
+    const size_t line = demo.row_lines[i];
+    std::string content = maras::Join(row, kDelim);
+    uint64_t primary = 0;
+    if (!ParseUint64Field(row[d_primary], &primary)) {
+      MARAS_RETURN_IF_ERROR(demo_ctx.Reject(
+          RowFault::kBadNumeric, line, "primaryid",
+          "unparseable primaryid '" + row[d_primary] + "'", content));
+      continue;
+    }
+    // Row-local reject helper: marks this DEMO row's primaryid rejected so
+    // its children are classified collateral.
+    auto reject = [&](RowFault fault, const std::string& column,
+                      const std::string& reason) -> maras::Status {
+      maras::Status st = demo_ctx.Reject(fault, line, column, reason, content);
+      if (st.ok()) rejected_primary.insert(primary);
+      return st;
+    };
+    Report r;
+    if (!ParseUint64Field(row[d_caseid], &r.case_id)) {
+      MARAS_RETURN_IF_ERROR(reject(RowFault::kBadNumeric, "caseid",
+                                   "unparseable caseid '" + row[d_caseid] +
+                                       "'"));
+      continue;
+    }
+    if (!ParseUint32Field(row[d_version], &r.case_version)) {
+      MARAS_RETURN_IF_ERROR(reject(RowFault::kBadNumeric, "caseversion",
+                                   "unparseable caseversion '" +
+                                       row[d_version] + "'"));
+      continue;
+    }
+    if (!ParseReportType(row[d_rept], &r.type)) {
+      MARAS_RETURN_IF_ERROR(reject(RowFault::kBadCode, "rept_cod",
+                                   "bad rept_cod: " + row[d_rept]));
+      continue;
+    }
+    if (d_age >= 0 && !row[d_age].empty() &&
+        !ParseAgeField(row[d_age], &r.age)) {
+      MARAS_RETURN_IF_ERROR(reject(RowFault::kBadNumeric, "age",
+                                   "unparseable age '" + row[d_age] + "'"));
+      continue;
     }
     if (d_sex >= 0 && !ParseSex(row[d_sex], &r.sex)) {
-      return maras::Status::Corruption("bad sex code: " + row[d_sex]);
+      MARAS_RETURN_IF_ERROR(reject(RowFault::kBadCode, "sex",
+                                   "bad sex code: " + row[d_sex]));
+      continue;
     }
     if (d_country >= 0) r.country = row[d_country];
-    uint64_t primary = std::strtoull(row[d_primary].c_str(), &end, 10);
     if (by_primary.count(primary) > 0) {
-      return maras::Status::Corruption("duplicate primaryid " +
-                                       row[d_primary]);
+      MARAS_RETURN_IF_ERROR(demo_ctx.Reject(
+          RowFault::kDuplicatePrimaryId, line, "primaryid",
+          "duplicate primaryid " + row[d_primary], content));
+      continue;
     }
     by_primary[primary] = dataset.reports.size();
     dataset.reports.push_back(std::move(r));
   }
 
-  int g_primary = drug.ColumnIndex("primaryid");
-  int g_name = drug.ColumnIndex("drugname");
-  if (g_primary < 0 || g_name < 0) {
-    return maras::Status::Corruption("DRUG table missing required columns");
-  }
-  for (const auto& row : drug.rows) {
-    uint64_t primary = std::strtoull(row[g_primary].c_str(), nullptr, 10);
-    auto it = by_primary.find(primary);
-    if (it == by_primary.end()) {
-      return maras::Status::Corruption("DRUG row with unknown primaryid " +
-                                       row[g_primary]);
+  // DRUG and REAC rows join against the DEMO index identically; only the
+  // payload column differs.
+  auto ingest_child_table =
+      [&](const maras::DelimitedTable& table,
+          const std::vector<maras::DelimitedRowIssue>& issues,
+          const std::string& file, const char* required_column,
+          const char* kind,
+          std::vector<std::string> Report::*field) -> maras::Status {
+    int c_primary = table.ColumnIndex("primaryid");
+    int c_payload = table.ColumnIndex(required_column);
+    if (c_primary < 0 || c_payload < 0) {
+      return maras::WithContext(
+          maras::Status::Corruption(std::string(kind) +
+                                    " table missing required columns"),
+          file);
     }
-    dataset.reports[it->second].drugs.push_back(row[g_name]);
-  }
+    TableIngest ctx{&options, acc, file, strict};
+    acc->rows_seen += table.rows.size() + issues.size();
+    for (const maras::DelimitedRowIssue& issue : issues) {
+      uint64_t primary = 0;
+      bool collateral = PrimaryIdPrefix(issue.content, &primary) &&
+                        rejected_primary.count(primary) > 0;
+      MARAS_RETURN_IF_ERROR(
+          ctx.Reject(collateral ? RowFault::kCollateral
+                                : RowFault::kMalformedRow,
+                     issue.line, "", issue.reason, issue.content));
+    }
+    for (size_t i = 0; i < table.rows.size(); ++i) {
+      const auto& row = table.rows[i];
+      const size_t line = table.row_lines[i];
+      std::string content = maras::Join(row, kDelim);
+      uint64_t primary = 0;
+      if (!ParseUint64Field(row[c_primary], &primary)) {
+        MARAS_RETURN_IF_ERROR(ctx.Reject(
+            RowFault::kBadNumeric, line, "primaryid",
+            "unparseable primaryid '" + row[c_primary] + "'", content));
+        continue;
+      }
+      auto it = by_primary.find(primary);
+      if (it == by_primary.end()) {
+        bool collateral = rejected_primary.count(primary) > 0;
+        MARAS_RETURN_IF_ERROR(ctx.Reject(
+            collateral ? RowFault::kCollateral : RowFault::kOrphanRow, line,
+            "primaryid",
+            std::string(kind) + " row with unknown primaryid " +
+                row[c_primary],
+            content));
+        continue;
+      }
+      (dataset.reports[it->second].*field).push_back(row[c_payload]);
+    }
+    return maras::Status::OK();
+  };
+  MARAS_RETURN_IF_ERROR(ingest_child_table(drug, drug_issues, drug_file,
+                                           "drugname", "DRUG",
+                                           &Report::drugs));
+  MARAS_RETURN_IF_ERROR(ingest_child_table(reac, reac_issues, reac_file, "pt",
+                                           "REAC", &Report::reactions));
 
-  int r_primary = reac.ColumnIndex("primaryid");
-  int r_pt = reac.ColumnIndex("pt");
-  if (r_primary < 0 || r_pt < 0) {
-    return maras::Status::Corruption("REAC table missing required columns");
-  }
-  for (const auto& row : reac.rows) {
-    uint64_t primary = std::strtoull(row[r_primary].c_str(), nullptr, 10);
-    auto it = by_primary.find(primary);
-    if (it == by_primary.end()) {
-      return maras::Status::Corruption("REAC row with unknown primaryid " +
-                                       row[r_primary]);
-    }
-    dataset.reports[it->second].reactions.push_back(row[r_pt]);
+  acc->reports_ingested += dataset.reports.size();
+  // Deliver the accounting even when the budget check below fails the read —
+  // the diagnostics explain *why* the quarter was declared unusable.
+  if (report != nullptr) report->Merge(local);
+  if (!strict && acc->rows_rejected > 0 &&
+      acc->rejected_fraction() > options.max_bad_row_fraction) {
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.1f%%",
+                  100.0 * acc->rejected_fraction());
+    return maras::WithContext(
+        maras::Status::Corruption(
+            std::to_string(acc->rows_rejected) + " of " +
+            std::to_string(acc->rows_seen) + " rows rejected (" + frac +
+            ") exceeds the error budget of " +
+            std::to_string(options.max_bad_row_fraction)),
+        "quarter " + std::to_string(year) + "Q" + std::to_string(quarter));
   }
   return dataset;
 }
 
 maras::StatusOr<QuarterDataset> ReadAsciiQuarterFromDir(
     const std::string& directory, int year, int quarter) {
+  return ReadAsciiQuarterFromDir(directory, year, quarter, IngestOptions{});
+}
+
+maras::StatusOr<QuarterDataset> ReadAsciiQuarterFromDir(
+    const std::string& directory, int year, int quarter,
+    const IngestOptions& options, IngestReport* report) {
   std::string suffix = FileSuffix(year, quarter);
   AsciiQuarterFiles files;
-  MARAS_ASSIGN_OR_RETURN(
-      files.demo,
-      maras::ReadFileToString(directory + "/DEMO" + suffix + ".txt"));
-  MARAS_ASSIGN_OR_RETURN(
-      files.drug,
-      maras::ReadFileToString(directory + "/DRUG" + suffix + ".txt"));
-  MARAS_ASSIGN_OR_RETURN(
-      files.reac,
-      maras::ReadFileToString(directory + "/REAC" + suffix + ".txt"));
-  return ReadAsciiQuarter(files, year, quarter);
+  struct Source {
+    const char* prefix;
+    std::string* dest;
+  };
+  for (const Source& source : {Source{"DEMO", &files.demo},
+                               Source{"DRUG", &files.drug},
+                               Source{"REAC", &files.reac}}) {
+    std::string path = directory + "/" + source.prefix + suffix + ".txt";
+    auto content = maras::ReadFileToString(path);
+    if (!content.ok()) {
+      return maras::WithContext(content.status(),
+                                std::string(source.prefix) + " file");
+    }
+    *source.dest = *std::move(content);
+  }
+  return ReadAsciiQuarter(files, year, quarter, options, report);
 }
 
 }  // namespace maras::faers

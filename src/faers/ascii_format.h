@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "faers/ingest.h"
 #include "faers/report.h"
 #include "util/statusor.h"
 
@@ -36,12 +37,30 @@ maras::Status WriteAsciiQuarterToDir(const QuarterDataset& dataset,
 
 // Parses the three tables back into a dataset. Reports are reassembled by
 // primaryid; a DRUG/REAC row whose primaryid has no DEMO row is Corruption.
+// Equivalent to the policy-aware overload under IngestPolicy::kStrict.
 maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
     const AsciiQuarterFiles& files, int year, int quarter);
 
+// Policy-aware parse. Under kStrict the first malformed row fails the whole
+// quarter (historical behavior). Under kPermissive malformed rows — wrong
+// field counts, garbage numerics, unknown codes, duplicate primaryids,
+// orphan DRUG/REAC rows — are skipped, and the read fails only when the
+// rejected fraction exceeds `options.max_bad_row_fraction`. kQuarantine
+// additionally captures each rejected row with file/line/column/reason
+// diagnostics. `report`, when non-null, accumulates the accounting under
+// every policy.
+maras::StatusOr<QuarterDataset> ReadAsciiQuarter(
+    const AsciiQuarterFiles& files, int year, int quarter,
+    const IngestOptions& options, IngestReport* report = nullptr);
+
 // Reads from `directory` using FAERS naming for the given year/quarter.
+// IOErrors name the file (DEMO/DRUG/REAC) that failed.
 maras::StatusOr<QuarterDataset> ReadAsciiQuarterFromDir(
     const std::string& directory, int year, int quarter);
+
+maras::StatusOr<QuarterDataset> ReadAsciiQuarterFromDir(
+    const std::string& directory, int year, int quarter,
+    const IngestOptions& options, IngestReport* report = nullptr);
 
 }  // namespace maras::faers
 

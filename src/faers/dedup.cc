@@ -80,6 +80,33 @@ std::vector<DuplicateCluster> FindDuplicateCases(const QuarterDataset& dataset,
 }
 
 QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
+                                    const IngestOptions& options,
+                                    IngestReport* report, DedupStats* stats) {
+  DedupStats local;
+  QuarterDataset kept = RemoveDuplicateCases(dataset, &local);
+  if (report != nullptr && local.redundant_reports > 0) {
+    report->warnings.push_back(
+        dataset.Label() + ": removed " +
+        std::to_string(local.redundant_reports) +
+        " suspected duplicate reports in " + std::to_string(local.clusters) +
+        " clusters");
+    if (options.policy == IngestPolicy::kQuarantine) {
+      for (const DuplicateCluster& cluster : FindDuplicateCases(dataset)) {
+        for (size_t i = 1; i < cluster.primary_ids.size(); ++i) {
+          report->warnings.push_back(
+              dataset.Label() + ": primaryid " +
+              std::to_string(cluster.primary_ids[i]) +
+              " removed as duplicate of primaryid " +
+              std::to_string(cluster.primary_ids[0]));
+        }
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return kept;
+}
+
+QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
                                     DedupStats* stats) {
   std::vector<DuplicateCluster> clusters = FindDuplicateCases(dataset, stats);
   std::unordered_set<uint64_t> drop;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faers/ingest.h"
 #include "faers/report.h"
 
 namespace maras::faers {
@@ -39,6 +40,14 @@ std::vector<DuplicateCluster> FindDuplicateCases(const QuarterDataset& dataset,
 // Returns a copy of `dataset` with redundant duplicates removed: from each
 // cluster only the first report (dataset order) survives.
 QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
+                                    DedupStats* stats = nullptr);
+
+// As above, threading the ingestion report: records one warning summarizing
+// the removal and, under kQuarantine, one warning per removed report naming
+// its primaryid and the cluster representative it duplicated.
+QuarterDataset RemoveDuplicateCases(const QuarterDataset& dataset,
+                                    const IngestOptions& options,
+                                    IngestReport* report,
                                     DedupStats* stats = nullptr);
 
 }  // namespace maras::faers

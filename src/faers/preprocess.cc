@@ -51,6 +51,24 @@ std::string Preprocessor::CleanDrugName(
 }
 
 maras::StatusOr<PreprocessResult> Preprocessor::Process(
+    const QuarterDataset& dataset, IngestReport* report) const {
+  auto result = Process(dataset);
+  if (result.ok() && report != nullptr) {
+    const PreprocessStats& stats = result->stats;
+    auto note = [&](size_t count, const char* what) {
+      if (count == 0) return;
+      report->warnings.push_back(dataset.Label() + ": " +
+                                 std::to_string(count) + " " + what);
+    };
+    note(stats.dropped_not_expedited, "reports dropped as non-expedited");
+    note(stats.dropped_stale_version, "stale case versions dropped");
+    note(stats.dropped_empty,
+         "reports dropped with no drugs or no reactions after cleaning");
+  }
+  return result;
+}
+
+maras::StatusOr<PreprocessResult> Preprocessor::Process(
     const QuarterDataset& dataset) const {
   PreprocessResult result;
   result.stats.reports_in = dataset.reports.size();

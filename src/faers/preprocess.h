@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faers/ingest.h"
 #include "faers/report.h"
 #include "mining/item_dictionary.h"
 #include "mining/transaction_db.h"
@@ -73,6 +74,12 @@ class Preprocessor {
   // Processes one quarter into a transaction database.
   maras::StatusOr<PreprocessResult> Process(
       const QuarterDataset& dataset) const;
+
+  // As above, but additionally records drop accounting into `report` (one
+  // warning per drop category with a non-zero count), so a degraded
+  // surveillance run can surface what the cleaning stage discarded.
+  maras::StatusOr<PreprocessResult> Process(const QuarterDataset& dataset,
+                                            IngestReport* report) const;
 
   // The spelling dictionary in use (exposed for tests).
   const text::Dictionary& drug_dictionary() const { return drug_dictionary_; }

@@ -109,4 +109,45 @@ ValidationReport ValidateDataset(const QuarterDataset& dataset,
   return report;
 }
 
+maras::Status EnforceValidation(const ValidationReport& validation,
+                                const IngestOptions& options,
+                                IngestReport* report) {
+  if (options.policy == IngestPolicy::kStrict) {
+    for (const ValidationFinding& finding : validation.findings) {
+      if (finding.severity != FindingSeverity::kError) continue;
+      return maras::Status::FailedPrecondition(
+          "validation failed [" + finding.check + "]: " + finding.detail +
+          (finding.primary_id != 0
+               ? " (primaryid " + std::to_string(finding.primary_id) + ")"
+               : ""));
+    }
+    return maras::Status::OK();
+  }
+  size_t errors = validation.error_count();
+  if (report != nullptr) {
+    for (const ValidationFinding& finding : validation.findings) {
+      if (finding.severity != FindingSeverity::kError) continue;
+      report->warnings.push_back(
+          "validation [" + finding.check + "]: " + finding.detail +
+          (finding.primary_id != 0
+               ? " (primaryid " + std::to_string(finding.primary_id) + ")"
+               : ""));
+    }
+  }
+  // With nothing checked, any error is dataset-level and unusable; otherwise
+  // tolerate errors up to the configured fraction of checked reports.
+  if (errors > 0 &&
+      (validation.reports_checked == 0 ||
+       static_cast<double>(errors) /
+               static_cast<double>(validation.reports_checked) >
+           options.max_bad_row_fraction)) {
+    return maras::Status::FailedPrecondition(
+        std::to_string(errors) + " validation errors across " +
+        std::to_string(validation.reports_checked) +
+        " reports exceeds the error budget of " +
+        std::to_string(options.max_bad_row_fraction));
+  }
+  return maras::Status::OK();
+}
+
 }  // namespace maras::faers

@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "faers/ingest.h"
 #include "faers/report.h"
+#include "util/status.h"
 
 namespace maras::faers {
 
@@ -42,6 +44,17 @@ struct ValidationOptions {
 
 ValidationReport ValidateDataset(const QuarterDataset& dataset,
                                  const ValidationOptions& options = {});
+
+// Applies the ingestion recovery policy to a validation outcome: under
+// kStrict any error finding fails the extract (FailedPrecondition naming the
+// first offender); under kPermissive/kQuarantine error findings are recorded
+// as warnings in `report` (when non-null) and the extract passes unless the
+// error fraction — errors / reports_checked — exceeds
+// `options.max_bad_row_fraction`. Warning-grade findings never fail any
+// policy.
+maras::Status EnforceValidation(const ValidationReport& validation,
+                                const IngestOptions& options,
+                                IngestReport* report = nullptr);
 
 }  // namespace maras::faers
 

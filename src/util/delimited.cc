@@ -17,6 +17,11 @@ int DelimitedTable::ColumnIndex(const std::string& column) const {
 
 StatusOr<DelimitedTable> DelimitedReader::ParseString(
     const std::string& content) const {
+  return ParseString(content, nullptr);
+}
+
+StatusOr<DelimitedTable> DelimitedReader::ParseString(
+    const std::string& content, std::vector<DelimitedRowIssue>* issues) const {
   DelimitedTable table;
   size_t pos = 0;
   size_t line_no = 0;
@@ -39,12 +44,17 @@ StatusOr<DelimitedTable> DelimitedReader::ParseString(
       table.header = std::move(fields);
     } else {
       if (fields.size() != table.header.size()) {
-        return Status::Corruption(
-            "row " + std::to_string(line_no) + " has " +
-            std::to_string(fields.size()) + " fields, expected " +
-            std::to_string(table.header.size()));
+        std::string reason = "row " + std::to_string(line_no) + " has " +
+                             std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(table.header.size());
+        if (issues == nullptr) return Status::Corruption(reason);
+        issues->push_back(
+            DelimitedRowIssue{line_no, std::move(reason), std::string(line)});
+        continue;
       }
       table.rows.push_back(std::move(fields));
+      table.row_lines.push_back(line_no);
     }
   }
   if (table.header.empty()) {

@@ -30,6 +30,16 @@ const char* CodeName(Status::Code code) {
 
 }  // namespace
 
+Status WithContext(const Status& status, std::string_view context) {
+  if (status.ok() || context.empty()) return status;
+  std::string message(context);
+  if (!status.message().empty()) {
+    message += ": ";
+    message += status.message();
+  }
+  return Status(status.code(), message);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = CodeName(code_);

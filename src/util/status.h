@@ -85,9 +85,17 @@ class Status {
   Status(Code code, std::string_view msg)
       : code_(code), message_(msg) {}
 
+  friend Status WithContext(const Status& status, std::string_view context);
+
   Code code_;
   std::string message_;
 };
+
+// Returns `status` with `context` prefixed onto its message, preserving the
+// code: WithContext(Corruption("bad rept_cod"), "DEMO12Q3.txt:47") yields
+// "Corruption: DEMO12Q3.txt:47: bad rept_cod". OK statuses pass through
+// unchanged, so the call is safe on any return path.
+Status WithContext(const Status& status, std::string_view context);
 
 inline bool operator==(const Status& a, const Status& b) {
   return a.code() == b.code() && a.message() == b.message();
@@ -99,6 +107,14 @@ inline bool operator==(const Status& a, const Status& b) {
   do {                                               \
     ::maras::Status _st = (expr);                    \
     if (!_st.ok()) return _st;                       \
+  } while (0)
+
+// As MARAS_RETURN_IF_ERROR, but wraps the propagated error with `context`
+// (any expression convertible to std::string_view, evaluated only on error).
+#define MARAS_RETURN_IF_ERROR_CTX(expr, context)     \
+  do {                                               \
+    ::maras::Status _st = (expr);                    \
+    if (!_st.ok()) return ::maras::WithContext(_st, (context)); \
   } while (0)
 
 }  // namespace maras

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/analyzer.h"
+#include "faers/ascii_format.h"
+#include "faers/corruptor.h"
 #include "faers/generator.h"
 #include "faers/preprocess.h"
 
@@ -135,6 +137,144 @@ TEST(ClassifyTrendTest, Verdicts) {
   // Zero-combination quarters are skipped, not treated as dips.
   EXPECT_EQ(ClassifyTrend({row(10, 0.2), row(0, 0.0), row(10, 0.6)}),
             TrendVerdict::kEmerging);
+}
+
+// --- Fault-tolerant pipeline ------------------------------------------------
+
+faers::QuarterDataset GenerateRaw(int year, int quarter, uint64_t seed) {
+  faers::GeneratorConfig config;
+  config.year = year;
+  config.quarter = quarter;
+  config.seed = seed;
+  config.n_reports = 400;
+  config.n_drugs = 300;
+  config.n_adrs = 150;
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+class MultiQuarterPipelineTest : public ::testing::Test {
+ protected:
+  // Writes clean 2041Q1 and 2041Q2 extracts into TempDir. Other test
+  // binaries share TempDir under parallel ctest, so these tests use years
+  // no other suite writes.
+  static std::string WriteCleanQuarters() {
+    std::string dir = ::testing::TempDir();
+    EXPECT_TRUE(
+        faers::WriteAsciiQuarterToDir(GenerateRaw(2041, 1, 101), dir).ok());
+    EXPECT_TRUE(
+        faers::WriteAsciiQuarterToDir(GenerateRaw(2041, 2, 202), dir).ok());
+    return dir;
+  }
+
+  static MultiQuarterOptions Lenient(faers::IngestPolicy policy) {
+    MultiQuarterOptions options;
+    options.ingest.policy = policy;
+    options.ingest.max_bad_row_fraction = 0.5;
+    return options;
+  }
+};
+
+TEST_F(MultiQuarterPipelineTest, StrictRunLoadsAllCleanQuarters) {
+  std::string dir = WriteCleanQuarters();
+  MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
+  auto run = pipeline.RunFromDirs({{dir, 2041, 1}, {dir, 2041, 2}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->quarters_loaded, 2u);
+  ASSERT_EQ(run->outcomes.size(), 2u);
+  EXPECT_EQ(run->outcomes[0].label, "2041Q1");
+  EXPECT_TRUE(run->outcomes[0].loaded);
+  EXPECT_TRUE(run->outcomes[1].loaded);
+  EXPECT_EQ(run->ingest.rows_rejected, 0u);
+  EXPECT_GT(run->merged.transactions.size(), 0u);
+}
+
+TEST_F(MultiQuarterPipelineTest, StrictRunFailsNamingTheBrokenQuarter) {
+  std::string dir = WriteCleanQuarters();
+  MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
+  auto run =
+      pipeline.RunFromDirs({{dir, 2041, 1}, {dir, 2041, 3}});  // no 2041Q3
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("quarter 2041Q3"),
+            std::string::npos)
+      << run.status().ToString();
+}
+
+TEST_F(MultiQuarterPipelineTest, PermissiveRunSkipsUnreadableQuarter) {
+  std::string dir = WriteCleanQuarters();
+  MultiQuarterPipeline pipeline{Lenient(faers::IngestPolicy::kPermissive)};
+  auto run = pipeline.RunFromDirs(
+      {{dir, 2041, 1}, {dir, 2041, 3}, {dir, 2041, 2}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->quarters_loaded, 2u);
+  ASSERT_EQ(run->outcomes.size(), 3u);
+  EXPECT_FALSE(run->outcomes[1].loaded);
+  EXPECT_FALSE(run->outcomes[1].error.empty());
+  bool skip_warning = false;
+  for (const std::string& warning : run->ingest.warnings) {
+    skip_warning = skip_warning ||
+                   warning.find("skipping quarter 2041Q3") != std::string::npos;
+  }
+  EXPECT_TRUE(skip_warning);
+  // The degraded corpus still analyzes, and the analyzer surfaces the skip.
+  AnalyzerOptions options;
+  options.mining.min_support = 6;
+  auto analysis = MarasAnalyzer(options).Analyze(run->merged, run->ingest);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->ingest_warnings.empty());
+}
+
+TEST_F(MultiQuarterPipelineTest, AllQuartersFailingIsAnError) {
+  MultiQuarterPipeline pipeline{Lenient(faers::IngestPolicy::kPermissive)};
+  auto run = pipeline.RunFromDirs(
+      {{"/nonexistent/faers", 2019, 1}, {"/nonexistent/faers", 2019, 2}});
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsCorruption());
+  EXPECT_NE(run.status().message().find("all 2 quarters"), std::string::npos);
+}
+
+TEST_F(MultiQuarterPipelineTest, EmptySourceListRejected) {
+  MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
+  EXPECT_TRUE(pipeline.RunFromDirs({}).status().IsInvalidArgument());
+  EXPECT_TRUE(pipeline.Run({}).status().IsInvalidArgument());
+}
+
+TEST_F(MultiQuarterPipelineTest, InMemoryRunMergesQuarters) {
+  std::vector<faers::QuarterDataset> quarters;
+  quarters.push_back(GenerateRaw(2014, 1, 101));
+  quarters.push_back(GenerateRaw(2014, 2, 202));
+  MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
+  auto run = pipeline.Run(quarters);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->quarters_loaded, 2u);
+  EXPECT_GT(run->merged.stats.reports_kept, 0u);
+}
+
+TEST_F(MultiQuarterPipelineTest, QuarantineRunAccountsForInjectedFaults) {
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(
+      faers::WriteAsciiQuarterToDir(GenerateRaw(2045, 3, 303), dir).ok());
+  faers::QuarterDataset damaged_src = GenerateRaw(2045, 4, 404);
+  auto clean = faers::WriteAsciiQuarter(damaged_src);
+  ASSERT_TRUE(clean.ok());
+  faers::CorruptorConfig corruption;
+  corruption.seed = 9;
+  corruption.faults = faers::AllRowFaults(1);
+  auto corrupted = faers::Corruptor(corruption).Corrupt(*clean, 2045, 4);
+  ASSERT_TRUE(corrupted.ok());
+  ASSERT_TRUE(
+      faers::WriteCorruptedQuarterToDir(*corrupted, dir, 2045, 4).ok());
+
+  MultiQuarterPipeline pipeline{Lenient(faers::IngestPolicy::kQuarantine)};
+  auto run = pipeline.RunFromDirs({{dir, 2045, 3}, {dir, 2045, 4}});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->quarters_loaded, 2u);
+  EXPECT_EQ(run->ingest.FaultCount(), corrupted->RowFaultCount());
+  EXPECT_EQ(run->outcomes[0].ingest.rows_rejected, 0u);
+  EXPECT_EQ(run->outcomes[1].ingest.FaultCount(), corrupted->RowFaultCount());
+  EXPECT_FALSE(run->ingest.quarantined.empty());
 }
 
 TEST(ClassifyTrendTest, NamesComplete) {

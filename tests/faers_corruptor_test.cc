@@ -1,0 +1,287 @@
+// Deterministic corruption-injection harness and its recovery invariants:
+// the same seed always yields the same damage; strict ingestion fails fast
+// on every fault kind; permissive ingestion recovers every untouched report
+// byte-identically; quarantine accounting matches the injected faults
+// one-to-one.
+
+#include "faers/corruptor.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "faers/generator.h"
+
+namespace maras::faers {
+namespace {
+
+QuarterDataset GenerateQuarter(uint64_t seed, size_t reports = 300) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.n_reports = reports;
+  config.n_drugs = 200;
+  config.n_adrs = 80;
+  SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  EXPECT_TRUE(dataset.ok());
+  return *std::move(dataset);
+}
+
+AsciiQuarterFiles WriteQuarter(const QuarterDataset& dataset) {
+  auto files = WriteAsciiQuarter(dataset);
+  EXPECT_TRUE(files.ok());
+  return *files;
+}
+
+IngestOptions PolicyOptions(IngestPolicy policy) {
+  IngestOptions options;
+  options.policy = policy;
+  options.max_bad_row_fraction = 0.5;
+  return options;
+}
+
+bool SameReport(const Report& a, const Report& b) {
+  return a.case_id == b.case_id && a.case_version == b.case_version &&
+         a.type == b.type && a.sex == b.sex && a.age == b.age &&
+         a.country == b.country && a.drugs == b.drugs &&
+         a.reactions == b.reactions;
+}
+
+TEST(CorruptorTest, SameSeedIsByteIdentical) {
+  QuarterDataset dataset = GenerateQuarter(11);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.seed = 42;
+  config.faults = AllRowFaults(2);
+  auto first = Corruptor(config).Corrupt(clean, 2014, 1);
+  auto second = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->files.demo, second->files.demo);
+  EXPECT_EQ(first->files.drug, second->files.drug);
+  EXPECT_EQ(first->files.reac, second->files.reac);
+  ASSERT_EQ(first->faults.size(), second->faults.size());
+  for (size_t i = 0; i < first->faults.size(); ++i) {
+    EXPECT_EQ(first->faults[i].file, second->faults[i].file);
+    EXPECT_EQ(first->faults[i].line, second->faults[i].line);
+    EXPECT_EQ(first->faults[i].detail, second->faults[i].detail);
+  }
+  EXPECT_EQ(first->faulted_primary_ids, second->faulted_primary_ids);
+}
+
+TEST(CorruptorTest, DifferentSeedsDiverge) {
+  QuarterDataset dataset = GenerateQuarter(11);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.faults = AllRowFaults(2);
+  config.seed = 1;
+  auto first = Corruptor(config).Corrupt(clean, 2014, 1);
+  config.seed = 2;
+  auto second = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->files.demo + first->files.drug + first->files.reac,
+            second->files.demo + second->files.drug + second->files.reac);
+}
+
+TEST(CorruptorTest, FaultsNeverShareAReport) {
+  QuarterDataset dataset = GenerateQuarter(23);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.seed = 7;
+  config.faults = AllRowFaults(3);
+  auto corrupted = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(corrupted->RowFaultCount(), 24u);
+  // One fault per victim report: the damaged-report set is as large as the
+  // number of faults that damage existing rows (orphans damage nobody).
+  size_t victim_faults = 0;
+  for (const InjectedFault& fault : corrupted->faults) {
+    victim_faults += fault.primary_id != 0;
+  }
+  EXPECT_EQ(corrupted->faulted_primary_ids.size(), victim_faults);
+}
+
+struct KindCase {
+  FaultKind kind;
+  RowFault expected;
+};
+
+class FaultKindTest : public ::testing::TestWithParam<KindCase> {};
+
+TEST_P(FaultKindTest, SingleFaultRoundTrip) {
+  const KindCase param = GetParam();
+  QuarterDataset dataset = GenerateQuarter(31);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.seed = 99;
+  config.faults = {{param.kind, 1}};
+  auto corrupted = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_TRUE(corrupted.ok());
+  ASSERT_EQ(corrupted->faults.size(), 1u);
+
+  // Strict mode fails fast on every fault kind.
+  EXPECT_TRUE(ReadAsciiQuarter(corrupted->files, 2014, 1)
+                  .status()
+                  .IsCorruption())
+      << FaultKindName(param.kind);
+
+  // Quarantine mode recovers and attributes exactly one root-cause fault of
+  // the expected classification, naming the damaged file and line.
+  IngestReport report;
+  auto parsed = ReadAsciiQuarter(corrupted->files, 2014, 1,
+                                 PolicyOptions(IngestPolicy::kQuarantine),
+                                 &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(report.FaultCount(), 1u);
+  const QuarantinedRow* root = nullptr;
+  for (const QuarantinedRow& row : report.quarantined) {
+    if (row.fault != RowFault::kCollateral) {
+      ASSERT_EQ(root, nullptr) << "more than one root-cause row";
+      root = &row;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->fault, param.expected) << RowFaultName(root->fault);
+  EXPECT_EQ(root->file, corrupted->faults[0].file);
+  EXPECT_EQ(root->line, corrupted->faults[0].line);
+  EXPECT_FALSE(root->reason.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, FaultKindTest,
+    ::testing::Values(
+        KindCase{FaultKind::kTruncateRow, RowFault::kMalformedRow},
+        KindCase{FaultKind::kEmbeddedDelimiter, RowFault::kMalformedRow},
+        KindCase{FaultKind::kDropColumn, RowFault::kMalformedRow},
+        KindCase{FaultKind::kReorderColumns, RowFault::kBadCode},
+        KindCase{FaultKind::kGarbageNumeric, RowFault::kBadNumeric},
+        KindCase{FaultKind::kDuplicatePrimaryId,
+                 RowFault::kDuplicatePrimaryId},
+        KindCase{FaultKind::kOrphanDrugRow, RowFault::kOrphanRow},
+        KindCase{FaultKind::kOrphanReacRow, RowFault::kOrphanRow}));
+
+// The satellite round-trip invariant: generate, corrupt with N seeded
+// faults, re-ingest under each policy, and assert the recovery rate and
+// quarantine accounting across seeds.
+class RecoverySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoverySweepTest, InvariantsHoldAtEverySeed) {
+  const uint64_t seed = GetParam();
+  QuarterDataset dataset = GenerateQuarter(seed, 400);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.seed = seed * 1000003 + 17;
+  config.faults = AllRowFaults(2);
+  auto corrupted = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_TRUE(corrupted.ok());
+  const size_t injected = corrupted->RowFaultCount();
+  ASSERT_EQ(injected, 16u);
+
+  // Strict: fail fast, nothing recovered.
+  EXPECT_TRUE(ReadAsciiQuarter(corrupted->files, 2014, 1)
+                  .status()
+                  .IsCorruption());
+
+  // Permissive: every untouched report is recovered byte-identically.
+  IngestReport permissive_report;
+  auto permissive = ReadAsciiQuarter(corrupted->files, 2014, 1,
+                                     PolicyOptions(IngestPolicy::kPermissive),
+                                     &permissive_report);
+  ASSERT_TRUE(permissive.ok()) << permissive.status().ToString();
+  std::map<uint64_t, const Report*> recovered;
+  for (const Report& r : permissive->reports) {
+    recovered[r.primary_id()] = &r;
+  }
+  size_t untouched = 0;
+  for (const Report& original : dataset.reports) {
+    if (corrupted->faulted_primary_ids.count(original.primary_id()) > 0) {
+      continue;
+    }
+    ++untouched;
+    auto it = recovered.find(original.primary_id());
+    ASSERT_NE(it, recovered.end())
+        << "untouched report " << original.primary_id() << " lost";
+    EXPECT_TRUE(SameReport(original, *it->second))
+        << "untouched report " << original.primary_id() << " altered";
+  }
+  EXPECT_EQ(untouched, dataset.reports.size() -
+                           corrupted->faulted_primary_ids.size());
+  EXPECT_EQ(permissive_report.FaultCount(), injected);
+  EXPECT_TRUE(permissive_report.quarantined.empty());
+
+  // Quarantine: diagnostics enumerate every injected fault with
+  // file/line/reason, and collateral rows are classified apart.
+  IngestReport quarantine_report;
+  auto quarantined = ReadAsciiQuarter(
+      corrupted->files, 2014, 1, PolicyOptions(IngestPolicy::kQuarantine),
+      &quarantine_report);
+  ASSERT_TRUE(quarantined.ok());
+  EXPECT_EQ(quarantine_report.FaultCount(), injected);
+  std::map<std::pair<std::string, size_t>, size_t> quarantined_at;
+  size_t roots = 0;
+  for (const QuarantinedRow& row : quarantine_report.quarantined) {
+    EXPECT_FALSE(row.file.empty());
+    EXPECT_GT(row.line, 0u);
+    EXPECT_FALSE(row.reason.empty());
+    if (row.fault != RowFault::kCollateral) {
+      ++roots;
+      ++quarantined_at[{row.file, row.line}];
+    }
+  }
+  EXPECT_EQ(roots, injected);
+  for (const InjectedFault& fault : corrupted->faults) {
+    auto it = quarantined_at.find({fault.file, fault.line});
+    ASSERT_NE(it, quarantined_at.end())
+        << FaultKindName(fault.kind) << " at " << fault.file << ":"
+        << fault.line << " not quarantined";
+    EXPECT_EQ(it->second, 1u);
+  }
+
+  // Both lenient policies agree on the recovered dataset.
+  ASSERT_EQ(quarantined->reports.size(), permissive->reports.size());
+  EXPECT_EQ(quarantine_report.rows_rejected,
+            permissive_report.rows_rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySweepTest,
+                         ::testing::Values(3, 57, 191, 4242, 90210));
+
+TEST(CorruptorDirTest, MissingFileFaultRemovesTheFileOnDisk) {
+  std::string dir = ::testing::TempDir();
+  QuarterDataset dataset = GenerateQuarter(5, 50);
+  dataset.year = 2017;
+  dataset.quarter = 2;
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  config.seed = 12;
+  config.faults = {{FaultKind::kMissingFile, 1}};
+  auto corrupted = Corruptor(config).Corrupt(clean, 2017, 2);
+  ASSERT_TRUE(corrupted.ok());
+  ASSERT_EQ(corrupted->missing.size(), 1u);
+  ASSERT_TRUE(
+      WriteCorruptedQuarterToDir(*corrupted, dir, 2017, 2).ok());
+  auto parsed = ReadAsciiQuarterFromDir(dir, 2017, 2);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsIOError());
+  EXPECT_NE(parsed.status().message().find(corrupted->missing[0]),
+            std::string::npos);
+  for (const char* name : {"DEMO17Q2.txt", "DRUG17Q2.txt", "REAC17Q2.txt"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+}
+
+TEST(CorruptorTest, RequestingTooManyFaultsFailsCleanly) {
+  QuarterDataset dataset = GenerateQuarter(1, 5);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  CorruptorConfig config;
+  // The generator pads small configs with default signal reports, so ask
+  // for more faults than any plausible quarter of this size can host.
+  config.faults = {{FaultKind::kGarbageNumeric, 100000}};
+  auto corrupted = Corruptor(config).Corrupt(clean, 2014, 1);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_TRUE(corrupted.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace maras::faers

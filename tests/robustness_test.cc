@@ -8,6 +8,7 @@
 
 #include "core/analyzer.h"
 #include "core/export.h"
+#include "faers/ascii_format.h"
 #include "faers/generator.h"
 #include "faers/preprocess.h"
 #include "mining/closed_itemsets.h"
@@ -116,6 +117,52 @@ TEST(DeterminismTest, FullPipelineIsByteIdenticalAcrossRuns) {
   std::string second = run_once();
   EXPECT_GT(first.size(), 1000u);
   EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, StrictIngestOfWrittenQuarterIsByteIdentical) {
+  // The strict (default) ingest policy must be an exact identity on clean
+  // data: analyzing a quarter straight from memory and analyzing the same
+  // quarter after an ASCII write + strict re-read must export byte-identical
+  // JSON.
+  faers::GeneratorConfig config;
+  config.seed = 424242;
+  config.n_reports = 1200;
+  config.n_drugs = 400;
+  config.n_adrs = 150;
+  config.signals = faers::DefaultSignals(2400);
+  faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  ASSERT_TRUE(dataset.ok());
+
+  auto export_json = [](const faers::QuarterDataset& quarter) {
+    faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
+    auto pre = preprocessor.Process(quarter);
+    EXPECT_TRUE(pre.ok());
+    core::AnalyzerOptions options;
+    options.mining.min_support = 5;
+    auto analysis = core::MarasAnalyzer(options).Analyze(*pre);
+    EXPECT_TRUE(analysis.ok());
+    return core::ExportAnalysisToJson(
+        *analysis, pre->items,
+        core::RankingMethod::kExclusivenessConfidence, {});
+  };
+
+  std::string direct = export_json(*dataset);
+
+  auto files = faers::WriteAsciiQuarter(*dataset);
+  ASSERT_TRUE(files.ok());
+  faers::IngestReport report;
+  auto reread = faers::ReadAsciiQuarter(*files, dataset->year,
+                                        dataset->quarter,
+                                        faers::IngestOptions{}, &report);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(report.rows_rejected, 0u);
+  EXPECT_TRUE(report.quarantined.empty());
+  ASSERT_EQ(reread->reports.size(), dataset->reports.size());
+
+  std::string roundtripped = export_json(*reread);
+  EXPECT_GT(direct.size(), 1000u);
+  EXPECT_EQ(direct, roundtripped);
 }
 
 class SupportSweepTest : public ::testing::TestWithParam<size_t> {};

@@ -78,6 +78,34 @@ TEST(DelimitedWriterTest, WidthMismatchRejected) {
   EXPECT_TRUE(writer.ToString(table).status().IsInvalidArgument());
 }
 
+TEST(DelimitedPermissiveTest, BadRowsAreCollectedNotFatal) {
+  DelimitedReader reader('$');
+  std::vector<DelimitedRowIssue> issues;
+  auto table = reader.ParseString("a$b$c\n1$2$3\nshort$row\n4$5$6\n1$2$3$4\n",
+                                  &issues);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->row_lines, (std::vector<size_t>{2, 4}));
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].line, 3u);
+  EXPECT_EQ(issues[0].content, "short$row");
+  EXPECT_NE(issues[0].reason.find("2 fields, expected 3"), std::string::npos);
+  EXPECT_EQ(issues[1].line, 5u);
+}
+
+TEST(DelimitedPermissiveTest, MissingHeaderStillFails) {
+  DelimitedReader reader('$');
+  std::vector<DelimitedRowIssue> issues;
+  EXPECT_TRUE(reader.ParseString("", &issues).status().IsCorruption());
+}
+
+TEST(DelimitedPermissiveTest, RowLinesAccountForBlankLines) {
+  DelimitedReader reader(',');
+  auto table = reader.ParseString("h1,h2\n\na,b\n\nc,d\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row_lines, (std::vector<size_t>{3, 5}));
+}
+
 TEST(FileIoTest, WriteAndReadBack) {
   std::string path = ::testing::TempDir() + "/maras_delim_test.txt";
   ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());

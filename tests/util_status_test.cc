@@ -56,6 +56,47 @@ TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
   EXPECT_TRUE(wrapper().IsAlreadyExists());
 }
 
+TEST(StatusTest, WithContextPrefixesMessageAndKeepsCode) {
+  Status s = WithContext(Status::Corruption("bad rept_cod"),
+                         "DEMO12Q3.txt:47");
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "DEMO12Q3.txt:47: bad rept_cod");
+  EXPECT_EQ(s.ToString(), "Corruption: DEMO12Q3.txt:47: bad rept_cod");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(WithContext(Status::OK(), "ctx").ok());
+}
+
+TEST(StatusTest, WithContextEmptyContextIsNoop) {
+  Status s = WithContext(Status::NotFound("missing"), "");
+  EXPECT_EQ(s, Status::NotFound("missing"));
+}
+
+TEST(StatusTest, WithContextOnEmptyMessageKeepsContextOnly) {
+  Status s = WithContext(Status::IOError(""), "DRUG14Q1.txt");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "DRUG14Q1.txt");
+}
+
+TEST(StatusTest, WithContextNests) {
+  Status s = Status::Corruption("bad sex code");
+  s = WithContext(s, "DEMO14Q1.txt:12");
+  s = WithContext(s, "quarter 2014Q1");
+  EXPECT_EQ(s.message(), "quarter 2014Q1: DEMO14Q1.txt:12: bad sex code");
+}
+
+TEST(StatusTest, ReturnIfErrorCtxWrapsError) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MARAS_RETURN_IF_ERROR_CTX(fails(), "REAC14Q1.txt");
+    return Status::OK();
+  };
+  Status s = wrapper();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "REAC14Q1.txt: disk");
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());
