@@ -1,8 +1,11 @@
 #include "core/analyzer.h"
 
+#include <optional>
+
 #include "mining/closed_itemsets.h"
 #include "mining/fpgrowth.h"
 #include "mining/rules.h"
+#include "util/thread_pool.h"
 
 namespace maras::core {
 
@@ -69,22 +72,43 @@ maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
   }
 
   // Phase 3: closed itemsets -> supported drug-ADR associations
-  // (Lemma 3.4.2), multi-drug targets only.
-  mining::FrequentItemsetResult closed = mining::FilterClosed(frequent);
+  // (Lemma 3.4.2), multi-drug targets only. Candidate selection is cheap and
+  // stays serial; the per-candidate work — database closure verification and
+  // exact context supports for up to 2^n − 2 subsets — fans out to the pool,
+  // one independent slot per candidate. The serial in-order reduce below
+  // keeps mcac order and error choice identical to a serial run.
+  mining::FrequentItemsetResult closed =
+      mining::FilterClosed(frequent, options_.mining.num_threads);
   McacBuilder builder(&items, &db);
+  std::vector<const mining::FrequentItemset*> candidates;
   for (const mining::FrequentItemset& fi : closed.itemsets()) {
     size_t drugs = 0, adrs = 0;
     CountDomains(fi.items, items, &drugs, &adrs);
     if (drugs >= 1 && adrs >= 1) ++result.stats.closed_mixed;
     if (drugs < 2 || adrs < 1) continue;
     if (drugs > options_.max_drugs_per_rule) continue;
-    if (options_.verify_closed_in_db &&
-        !mining::IsClosedInDatabase(db, fi.items)) {
-      continue;
-    }
-    MARAS_ASSIGN_OR_RETURN(DrugAdrRule target, BuildRule(fi.items, items, db));
-    if (target.confidence < options_.min_confidence) continue;
-    MARAS_ASSIGN_OR_RETURN(Mcac mcac, builder.Build(target));
+    candidates.push_back(&fi);
+  }
+  // nullopt = candidate filtered out (not closed in db / low confidence).
+  std::vector<std::optional<maras::StatusOr<Mcac>>> built(candidates.size());
+  maras::ParallelFor(
+      options_.mining.num_threads, candidates.size(), [&](size_t i) {
+        const mining::FrequentItemset& fi = *candidates[i];
+        if (options_.verify_closed_in_db &&
+            !mining::IsClosedInDatabase(db, fi.items)) {
+          return;
+        }
+        maras::StatusOr<DrugAdrRule> target = BuildRule(fi.items, items, db);
+        if (!target.ok()) {
+          built[i].emplace(target.status());
+          return;
+        }
+        if (target->confidence < options_.min_confidence) return;
+        built[i].emplace(builder.Build(*target));
+      });
+  for (std::optional<maras::StatusOr<Mcac>>& slot : built) {
+    if (!slot.has_value()) continue;
+    MARAS_ASSIGN_OR_RETURN(Mcac mcac, std::move(*slot));
     result.mcacs.push_back(std::move(mcac));
   }
   result.stats.mcac_count = result.mcacs.size();

@@ -15,6 +15,9 @@ namespace maras::core {
 
 // End-to-end MARAS analysis options (mining + contextual ranking).
 struct AnalyzerOptions {
+  // mining.num_threads also drives the analyzer's own fan-out (closed-set
+  // filtering and per-candidate MCAC construction); results are
+  // byte-identical at any thread count.
   mining::MiningOptions mining{.min_support = 10, .max_itemset_size = 8};
   // Minimum confidence a *target* rule must reach to form an MCAC.
   double min_confidence = 0.0;

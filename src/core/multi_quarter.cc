@@ -1,8 +1,11 @@
 #include "core/multi_quarter.h"
 
+#include <optional>
+
 #include "faers/ascii_format.h"
 #include "faers/dedup.h"
 #include "mining/measures.h"
+#include "util/thread_pool.h"
 
 namespace maras::core {
 
@@ -154,22 +157,33 @@ static maras::StatusOr<MultiQuarterRun> RunPipeline(
     LabelFn&& label_of, LoadFn&& load_one) {
   const bool strict =
       options.ingest.policy == faers::IngestPolicy::kStrict;
+  // Phase 1 — fan out: each quarter is processed by one pool task into its
+  // own (outcome, result) slot; nothing is shared between tasks.
+  const size_t n = quarters.size();
+  std::vector<QuarterOutcome> outcomes(n);
+  std::vector<std::optional<maras::StatusOr<faers::PreprocessResult>>>
+      processed(n);
+  maras::ParallelFor(options.num_threads, n, [&](size_t i) {
+    outcomes[i].label = label_of(quarters[i]);
+    processed[i].emplace(load_one(quarters[i], &outcomes[i]));
+  });
+  // Phase 2 — reduce serially in input order, so accounting, warning order,
+  // strict-mode error choice, and the merged corpus match the serial run.
   MultiQuarterRun run;
   std::vector<faers::PreprocessResult> loaded;
-  for (const Quarter& quarter : quarters) {
-    QuarterOutcome outcome;
-    outcome.label = label_of(quarter);
-    auto processed = load_one(quarter, &outcome);
-    if (processed.ok()) {
+  for (size_t i = 0; i < n; ++i) {
+    QuarterOutcome outcome = std::move(outcomes[i]);
+    maras::StatusOr<faers::PreprocessResult>& result = *processed[i];
+    if (result.ok()) {
       outcome.loaded = true;
       ++run.quarters_loaded;
-      loaded.push_back(*std::move(processed));
+      loaded.push_back(*std::move(result));
     } else {
       if (strict) {
-        return maras::WithContext(processed.status(),
+        return maras::WithContext(result.status(),
                                   "quarter " + outcome.label);
       }
-      outcome.error = processed.status().ToString();
+      outcome.error = result.status().ToString();
       run.ingest.warnings.push_back("skipping quarter " + outcome.label +
                                     ": " + outcome.error);
     }

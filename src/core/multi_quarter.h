@@ -82,6 +82,14 @@ struct MultiQuarterOptions {
   bool validate = true;
   // Remove near-duplicate cases (faers/dedup) before preprocessing.
   bool remove_duplicates = false;
+  // Worker threads for quarter-level fan-out: each quarter's ingest +
+  // validate + dedup + preprocess runs as one pool task writing its own
+  // outcome slot, and the surviving quarters are merged serially in input
+  // order afterwards. Recovery semantics, per-quarter quarantine accounting,
+  // warning order, and the merged corpus are identical to the serial run
+  // (0 and 1 both mean serial). Under kStrict the error reported is still
+  // the first failing quarter in input order.
+  size_t num_threads = 1;
 };
 
 // Per-quarter outcome: either it contributed to the merged corpus, or it was

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace maras::core {
 
 AgeBand AgeBandOf(double age_years) {
@@ -120,6 +122,26 @@ double StratifiedAnalyzer::MantelHaenszelRor(const DrugAdrRule& rule) const {
     return numerator == 0.0 ? 0.0 : kDisproportionalityCap;
   }
   return std::min(numerator / denominator, kDisproportionalityCap);
+}
+
+std::vector<double> StratifiedAnalyzer::MantelHaenszelRors(
+    const std::vector<DrugAdrRule>& rules, size_t num_threads) const {
+  std::vector<double> rors(rules.size());
+  maras::ParallelFor(num_threads, rules.size(),
+                     [&](size_t i) { rors[i] = MantelHaenszelRor(rules[i]); });
+  return rors;
+}
+
+std::vector<bool> StratifiedAnalyzer::Confounded(
+    const std::vector<DrugAdrRule>& rules, size_t num_threads,
+    double threshold) const {
+  // std::vector<bool> is bit-packed, so parallel writes into it would race;
+  // collect into bytes and convert.
+  std::vector<char> flags(rules.size());
+  maras::ParallelFor(num_threads, rules.size(), [&](size_t i) {
+    flags[i] = IsConfounded(rules[i], threshold) ? 1 : 0;
+  });
+  return std::vector<bool>(flags.begin(), flags.end());
 }
 
 bool StratifiedAnalyzer::IsConfounded(const DrugAdrRule& rule,

@@ -64,6 +64,19 @@ class StratifiedAnalyzer {
   // usual "ratios differ by more than ~20%" rule (threshold 1.2).
   bool IsConfounded(const DrugAdrRule& rule, double threshold = 1.2) const;
 
+  // Batch form of MantelHaenszelRor for a stratified screening run: rule i's
+  // full stratification (tables over all sex × age-band strata, then the
+  // pooled estimate) is computed by one pool task into slot i. Output is
+  // positionally aligned with `rules` and element-identical to calling
+  // MantelHaenszelRor serially; num_threads 0/1 degrade to the serial loop.
+  std::vector<double> MantelHaenszelRors(const std::vector<DrugAdrRule>& rules,
+                                         size_t num_threads) const;
+
+  // Same fan-out for the confounding diagnostic over a batch of rules.
+  std::vector<bool> Confounded(const std::vector<DrugAdrRule>& rules,
+                               size_t num_threads,
+                               double threshold = 1.2) const;
+
  private:
   // Dense stratum index: sex (3) × age band (4).
   static constexpr size_t kStrata = 12;

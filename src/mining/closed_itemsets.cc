@@ -3,25 +3,58 @@
 #include <unordered_set>
 
 #include "mining/fpgrowth.h"
+#include "util/thread_pool.h"
 
 namespace maras::mining {
 
-FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all) {
+namespace {
+
+// Appends to `marks` every immediate subset of `fi.items` that `fi` proves
+// non-closed (equal support). Pure read of `all`.
+void MarkCoveredSubsets(const FrequentItemsetResult& all,
+                        const FrequentItemset& fi,
+                        std::vector<Itemset>* marks) {
+  if (fi.items.size() < 2) return;
+  Itemset subset;
+  subset.reserve(fi.items.size() - 1);
+  for (size_t drop = 0; drop < fi.items.size(); ++drop) {
+    subset.clear();
+    for (size_t i = 0; i < fi.items.size(); ++i) {
+      if (i != drop) subset.push_back(fi.items[i]);
+    }
+    if (all.SupportOf(subset) == fi.support) {
+      marks->push_back(subset);
+    }
+  }
+}
+
+}  // namespace
+
+FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
+                                   size_t num_threads) {
   // Mark every itemset that has an equal-support immediate superset in the
   // result by walking each itemset's immediate subsets.
+  const std::vector<FrequentItemset>& itemsets = all.itemsets();
+  const size_t workers = EffectiveThreads(num_threads, itemsets.size());
   std::unordered_set<Itemset, ItemsetHash> not_closed;
-  for (const FrequentItemset& fi : all.itemsets()) {
-    if (fi.items.size() < 2) continue;
-    Itemset subset;
-    subset.reserve(fi.items.size() - 1);
-    for (size_t drop = 0; drop < fi.items.size(); ++drop) {
-      subset.clear();
-      for (size_t i = 0; i < fi.items.size(); ++i) {
-        if (i != drop) subset.push_back(fi.items[i]);
+  if (workers <= 1) {
+    std::vector<Itemset> marks;
+    for (const FrequentItemset& fi : itemsets) {
+      MarkCoveredSubsets(all, fi, &marks);
+    }
+    for (Itemset& s : marks) not_closed.insert(std::move(s));
+  } else {
+    // Shard w scans itemsets w, w+workers, ...; marks are unioned serially
+    // afterwards (union is order-independent, so scheduling cannot leak
+    // into the result).
+    std::vector<std::vector<Itemset>> shard_marks(workers);
+    ParallelFor(workers, workers, [&](size_t w) {
+      for (size_t i = w; i < itemsets.size(); i += workers) {
+        MarkCoveredSubsets(all, itemsets[i], &shard_marks[w]);
       }
-      if (all.SupportOf(subset) == fi.support) {
-        not_closed.insert(subset);
-      }
+    });
+    for (std::vector<Itemset>& shard : shard_marks) {
+      for (Itemset& s : shard) not_closed.insert(std::move(s));
     }
   }
   FrequentItemsetResult closed;
@@ -53,7 +86,7 @@ maras::StatusOr<FrequentItemsetResult> MineClosed(
     const TransactionDatabase& db, const MiningOptions& options) {
   FpGrowth miner(options);
   MARAS_ASSIGN_OR_RETURN(FrequentItemsetResult all, miner.Mine(db));
-  return FilterClosed(all);
+  return FilterClosed(all, options.num_threads);
 }
 
 }  // namespace maras::mining

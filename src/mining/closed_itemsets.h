@@ -16,7 +16,14 @@ namespace maras::mining {
 // immediate subsets and marking the equal-support ones non-closed finds
 // exactly the closed family. This is exact (no sampling, no heuristics) and
 // runs in O(Σ |S|) hash probes over the mined result.
-FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all);
+//
+// With num_threads > 1 the marking scan is sharded across a thread pool
+// (strided over the canonical itemset order; shards only read `all` and
+// collect marks privately) and the per-shard mark sets are unioned serially.
+// Set union is order-independent and the surviving family is re-sorted
+// canonically, so the output is byte-identical to the serial filter.
+FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
+                                   size_t num_threads = 1);
 
 // Direct check against the database (no mined result needed): S is closed
 // iff the intersection of all transactions containing S equals S. Used by

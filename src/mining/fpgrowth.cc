@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace maras::mining {
 
 namespace {
@@ -45,7 +47,23 @@ maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
   }
   FrequentItemsetResult result;
   std::unique_ptr<FpTree> tree = FpTree::Build(db, options_.min_support);
-  MineTree(*tree, /*suffix=*/{}, &result);
+  const std::vector<ItemId> items = tree->ItemsBySupportAscending();
+  const size_t workers = EffectiveThreads(options_.num_threads, items.size());
+  if (workers <= 1) {
+    MineTree(*tree, /*suffix=*/{}, &result);
+  } else {
+    // Fan out one task per top-level item. Tasks only read the shared tree
+    // and write their own shard; the canonical sort below erases any trace
+    // of the schedule.
+    std::vector<FrequentItemsetResult> shards(items.size());
+    ParallelFor(workers, items.size(), [this, &tree, &items, &shards](
+                                           size_t i) {
+      MineItem(*tree, items[i], /*suffix=*/{}, &shards[i]);
+    });
+    for (FrequentItemsetResult& shard : shards) {
+      result.Absorb(std::move(shard));
+    }
+  }
   result.SortCanonically();
   return result;
 }
@@ -57,23 +75,32 @@ void FpGrowth::MineTree(const FpTree& tree, const Itemset& suffix,
     return;
   }
   for (ItemId item : tree.ItemsBySupportAscending()) {
-    size_t support = tree.ItemCount(item);
-    if (support < options_.min_support) continue;
-    Itemset pattern = suffix;
-    pattern.push_back(item);
-    std::sort(pattern.begin(), pattern.end());
-    result->Add(pattern, support);
-
-    if (options_.max_itemset_size != 0 &&
-        pattern.size() >= options_.max_itemset_size) {
-      continue;  // no deeper extensions wanted
-    }
-    auto base = tree.ConditionalPatternBase(item);
-    if (base.empty()) continue;
-    std::unique_ptr<FpTree> conditional =
-        BuildConditionalTree(base, options_.min_support);
-    MineTree(*conditional, pattern, result);
+    MineItem(tree, item, suffix, result);
   }
+}
+
+void FpGrowth::MineItem(const FpTree& tree, ItemId item, const Itemset& suffix,
+                        FrequentItemsetResult* result) const {
+  if (options_.max_itemset_size != 0 &&
+      suffix.size() >= options_.max_itemset_size) {
+    return;
+  }
+  size_t support = tree.ItemCount(item);
+  if (support < options_.min_support) return;
+  Itemset pattern = suffix;
+  pattern.push_back(item);
+  std::sort(pattern.begin(), pattern.end());
+  result->Add(pattern, support);
+
+  if (options_.max_itemset_size != 0 &&
+      pattern.size() >= options_.max_itemset_size) {
+    return;  // no deeper extensions wanted
+  }
+  auto base = tree.ConditionalPatternBase(item);
+  if (base.empty()) return;
+  std::unique_ptr<FpTree> conditional =
+      BuildConditionalTree(base, options_.min_support);
+  MineTree(*conditional, pattern, result);
 }
 
 }  // namespace maras::mining

@@ -12,6 +12,15 @@ namespace maras::mining {
 // phase uses FP-Growth trees for closed itemset and rule generation
 // (Section 5.2); closedness filtering lives in closed_itemsets.h on top of
 // this miner's output.
+//
+// With MiningOptions::num_threads > 1 the top-level loop over the global
+// tree's header items fans out to a thread pool: each item's conditional
+// tree is projected and mined serially inside its own task against the
+// shared read-only global tree, producing a private result shard. FP-Growth
+// emits every frequent itemset exactly once — in the task of its least
+// frequent item — so the shards are disjoint, and concatenation + canonical
+// sort reconstructs the serial result byte for byte regardless of thread
+// count or schedule.
 class FpGrowth {
  public:
   explicit FpGrowth(MiningOptions options) : options_(options) {}
@@ -21,6 +30,10 @@ class FpGrowth {
 
  private:
   void MineTree(const FpTree& tree, const Itemset& suffix,
+                FrequentItemsetResult* result) const;
+  // One top-level step of MineTree: record {item} ∪ suffix, project the
+  // conditional tree and recurse. The unit of parallel fan-out.
+  void MineItem(const FpTree& tree, ItemId item, const Itemset& suffix,
                 FrequentItemsetResult* result) const;
 
   MiningOptions options_;

@@ -21,11 +21,19 @@ bool FrequentItemsetResult::ContainsItemset(const Itemset& s) const {
 void FrequentItemsetResult::SortCanonically() {
   std::sort(itemsets_.begin(), itemsets_.end(),
             [](const FrequentItemset& a, const FrequentItemset& b) {
-              if (a.items.size() != b.items.size()) {
-                return a.items.size() < b.items.size();
-              }
-              return a.items < b.items;
+              if (a.items != b.items) return a.items < b.items;
+              return a.support < b.support;
             });
+}
+
+void FrequentItemsetResult::Absorb(FrequentItemsetResult&& other) {
+  itemsets_.reserve(itemsets_.size() + other.itemsets_.size());
+  for (FrequentItemset& fi : other.itemsets_) {
+    support_[fi.items] = fi.support;
+    itemsets_.push_back(std::move(fi));
+  }
+  other.itemsets_.clear();
+  other.support_.clear();
 }
 
 }  // namespace maras::mining

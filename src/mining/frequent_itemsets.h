@@ -30,9 +30,18 @@ class FrequentItemsetResult {
   size_t SupportOf(const Itemset& s) const;
   bool ContainsItemset(const Itemset& s) const;
 
-  // Sorts itemsets by (size, lexicographic ids) so results are directly
-  // comparable across mining algorithms in tests.
+  // Sorts into the canonical result order every miner in the suite emits:
+  // itemset lexicographic (by ascending ItemId sequence), ties broken by
+  // ascending support. Itemsets are unique within one mining pass, so the
+  // order — and therefore any serialization of the result — is a pure
+  // function of the mined (itemset, support) family, independent of
+  // algorithm, shard count, and thread schedule.
   void SortCanonically();
+
+  // Moves every itemset of `other` into this result. Used to merge the
+  // per-shard results of a parallel mining pass; callers must ensure shards
+  // are disjoint and should SortCanonically() after the last merge.
+  void Absorb(FrequentItemsetResult&& other);
 
  private:
   std::vector<FrequentItemset> itemsets_;
@@ -48,6 +57,12 @@ struct MiningOptions {
   // up to ~4 interacting drugs; capping keeps the search tractable on dense
   // synthetic data.
   size_t max_itemset_size = 0;
+  // Worker threads for the parallelizable stages: FP-Growth's per-item
+  // conditional-tree fan-out and the closed-set filter. 0 and 1 both mean
+  // serial. Results are byte-identical for every value — the determinism
+  // suite asserts it — so this is purely a speed knob. Apriori and Eclat
+  // ignore it (they are the cross-check baselines, kept serial).
+  size_t num_threads = 1;
 };
 
 }  // namespace maras::mining

@@ -1,5 +1,7 @@
 #include "mining/rules.h"
 
+#include <algorithm>
+
 #include "mining/measures.h"
 
 namespace maras::mining {
@@ -75,7 +77,21 @@ std::vector<AssociationRule> GenerateAllPartitionRules(
       rules.push_back(std::move(rule));
     });
   }
+  SortRulesCanonically(&rules);
   return rules;
+}
+
+void SortRulesCanonically(std::vector<AssociationRule>* rules) {
+  std::sort(rules->begin(), rules->end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              if (a.consequent != b.consequent) {
+                return a.consequent < b.consequent;
+              }
+              return a.support < b.support;
+            });
 }
 
 }  // namespace maras::mining

@@ -38,10 +38,19 @@ RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
 
 // Materializes every bipartition rule passing `min_confidence`, up to
 // `max_rules` (guards against the exponential blow-up the paper warns
-// about). `n` is the transaction count, used for lift.
+// about). `n` is the transaction count, used for lift. Which rules make it
+// under the cap follows the canonical itemset order of `result`; the
+// returned vector is in canonical rule order (below).
 std::vector<AssociationRule> GenerateAllPartitionRules(
     const FrequentItemsetResult& result, double min_confidence, size_t n,
     size_t max_rules);
+
+// Sorts rules into the documented canonical order: antecedent lexicographic,
+// then consequent lexicographic, then ascending support. (A, B) determines
+// every derived measure, so the order — like the canonical itemset order —
+// is a pure function of the rule family, making serialized rule lists
+// directly comparable across algorithms and thread counts.
+void SortRulesCanonically(std::vector<AssociationRule>* rules);
 
 }  // namespace maras::mining
 

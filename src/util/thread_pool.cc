@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace maras {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial pool: run inline, in submission order.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      // Even when stopping, drain the queue before exiting so destruction
+      // never drops a submitted task.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+size_t EffectiveThreads(size_t requested, size_t items) {
+  if (requested <= 1 || items <= 1) return 1;
+  return std::min(requested, items);
+}
+
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  const size_t workers = EffectiveThreads(num_threads, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&fn, &next, n] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace maras

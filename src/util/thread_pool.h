@@ -1,0 +1,88 @@
+#ifndef MARAS_UTIL_THREAD_POOL_H_
+#define MARAS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maras {
+
+// Fixed-size worker pool over one locked FIFO task queue. Deliberately no
+// work stealing: the parallel layers built on top never depend on *which*
+// worker runs a task — determinism comes from tasks writing only to
+// caller-owned, index-addressed slots — so a single queue keeps the
+// scheduling model trivial to reason about under TSAN.
+//
+// num_threads == 0 degrades to a serial pool: Submit runs the task inline on
+// the calling thread, in submission order, with the same exception
+// accounting. This makes "parallel code with num_threads=0" byte-for-byte
+// equivalent to the serial code path, which the mining determinism suite
+// relies on.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains every pending task (nothing submitted is dropped), then joins the
+  // workers. Exceptions still pending after the last Wait() are swallowed.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks may throw: the exception is caught inside the
+  // worker (a throwing task never wedges the pool), the first one is stored,
+  // and the next Wait() rethrows it.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then rethrows the first
+  // stored task exception, if any (clearing it, so the pool stays usable).
+  void Wait();
+
+  // Worker count; 0 for a serial (inline) pool.
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+// Worker count a parallel region should actually use: 0 and 1 both mean
+// serial, and the fan-out never exceeds the number of work items.
+size_t EffectiveThreads(size_t requested, size_t items);
+
+// Runs fn(0), ..., fn(n-1) across a pool of `num_threads` workers; indices
+// are handed out dynamically (atomic counter, no per-index task overhead).
+// With num_threads <= 1 or n <= 1 runs inline on the caller's thread.
+// Determinism is the caller's contract: fn(i) must write only to state owned
+// by index i. Rethrows the first exception any fn raised once all workers
+// have stopped; a worker whose fn throws abandons its remaining indices.
+void ParallelFor(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+// Ordered result collection: results[i] = fn(i), computed in parallel but
+// returned in index order regardless of scheduling. T must be
+// default-constructible and movable.
+template <typename T>
+std::vector<T> ParallelMap(size_t num_threads, size_t n,
+                           const std::function<T(size_t)>& fn) {
+  std::vector<T> results(n);
+  ParallelFor(num_threads, n, [&](size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/analyzer.h"
 #include "faers/ascii_format.h"
 #include "faers/corruptor.h"
@@ -157,11 +159,14 @@ faers::QuarterDataset GenerateRaw(int year, int quarter, uint64_t seed) {
 
 class MultiQuarterPipelineTest : public ::testing::Test {
  protected:
-  // Writes clean 2041Q1 and 2041Q2 extracts into TempDir. Other test
-  // binaries share TempDir under parallel ctest, so these tests use years
-  // no other suite writes.
-  static std::string WriteCleanQuarters() {
-    std::string dir = ::testing::TempDir();
+  // Writes clean 2041Q1 and 2041Q2 extracts into a per-test subdirectory of
+  // TempDir. Tests in this fixture run as separate ctest entries and may run
+  // concurrently under `ctest -j`; writing the same filenames into the shared
+  // TempDir root would let one test truncate a quarter another is reading.
+  // The year 2041 is still unique to this suite across test binaries.
+  static std::string WriteCleanQuarters(const std::string& tag) {
+    std::string dir = ::testing::TempDir() + "/mq41_" + tag;
+    std::filesystem::create_directories(dir);
     EXPECT_TRUE(
         faers::WriteAsciiQuarterToDir(GenerateRaw(2041, 1, 101), dir).ok());
     EXPECT_TRUE(
@@ -178,7 +183,7 @@ class MultiQuarterPipelineTest : public ::testing::Test {
 };
 
 TEST_F(MultiQuarterPipelineTest, StrictRunLoadsAllCleanQuarters) {
-  std::string dir = WriteCleanQuarters();
+  std::string dir = WriteCleanQuarters("strict_loads");
   MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
   auto run = pipeline.RunFromDirs({{dir, 2041, 1}, {dir, 2041, 2}});
   ASSERT_TRUE(run.ok()) << run.status().ToString();
@@ -192,7 +197,7 @@ TEST_F(MultiQuarterPipelineTest, StrictRunLoadsAllCleanQuarters) {
 }
 
 TEST_F(MultiQuarterPipelineTest, StrictRunFailsNamingTheBrokenQuarter) {
-  std::string dir = WriteCleanQuarters();
+  std::string dir = WriteCleanQuarters("strict_fails");
   MultiQuarterPipeline pipeline{MultiQuarterOptions{}};
   auto run =
       pipeline.RunFromDirs({{dir, 2041, 1}, {dir, 2041, 3}});  // no 2041Q3
@@ -203,7 +208,7 @@ TEST_F(MultiQuarterPipelineTest, StrictRunFailsNamingTheBrokenQuarter) {
 }
 
 TEST_F(MultiQuarterPipelineTest, PermissiveRunSkipsUnreadableQuarter) {
-  std::string dir = WriteCleanQuarters();
+  std::string dir = WriteCleanQuarters("permissive_skips");
   MultiQuarterPipeline pipeline{Lenient(faers::IngestPolicy::kPermissive)};
   auto run = pipeline.RunFromDirs(
       {{dir, 2041, 1}, {dir, 2041, 3}, {dir, 2041, 2}});

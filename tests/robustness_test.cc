@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "core/analyzer.h"
@@ -12,6 +13,8 @@
 #include "faers/generator.h"
 #include "faers/preprocess.h"
 #include "mining/closed_itemsets.h"
+#include "mining/fpgrowth.h"
+#include "util/thread_pool.h"
 
 namespace maras {
 namespace {
@@ -194,6 +197,59 @@ TEST_P(SupportSweepTest, McacCountMonotoneInSupportThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, SupportSweepTest,
                          ::testing::Values(4, 6, 9, 14));
+
+// The concurrency robustness cases below are the ones the MARAS_TSAN build
+// exists for: they hammer the pool's queue, the shared read-only mining
+// structures, and the parallel pipeline layers, so ThreadSanitizer gets to
+// observe every lock-ordering and publication pattern the library uses.
+
+TEST(ConcurrencyRobustnessTest, PoolSurvivesChurnAndMixedWorkloads) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(1 + round % 4);
+    std::atomic<uint64_t> sum{0};
+    for (int t = 0; t < 50; ++t) {
+      pool.Submit([&sum, t] { sum.fetch_add(static_cast<uint64_t>(t)); });
+    }
+    pool.Wait();
+    EXPECT_EQ(sum.load(), 1225u);  // 0 + 1 + ... + 49
+    // Resubmit after Wait, then let the destructor drain the tail.
+    for (int t = 0; t < 10; ++t) {
+      pool.Submit([&sum] { sum.fetch_add(1); });
+    }
+  }
+}
+
+TEST(ConcurrencyRobustnessTest, ParallelMiningMatchesSerialUnderStress) {
+  // Repeated parallel runs over one shared corpus: every FP-Growth task
+  // reads the same global tree while sibling tasks run; any unsound
+  // publication shows up as a TSAN report or an output diff.
+  faers::PreprocessResult pre = BuildCorpus(777, 1500);
+  mining::MiningOptions serial{.min_support = 5, .max_itemset_size = 6};
+  auto expect = mining::FpGrowth(serial).Mine(pre.transactions);
+  ASSERT_TRUE(expect.ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    mining::MiningOptions options = serial;
+    options.num_threads = threads;
+    auto got = mining::FpGrowth(options).Mine(pre.transactions);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), expect->size()) << threads << " threads";
+    for (size_t i = 0; i < got->size(); ++i) {
+      ASSERT_EQ(got->itemsets()[i].items, expect->itemsets()[i].items);
+      ASSERT_EQ(got->itemsets()[i].support, expect->itemsets()[i].support);
+    }
+  }
+}
+
+TEST(ConcurrencyRobustnessTest, ParallelForWritesEverySlotOnce) {
+  // Large fan-out with tiny tasks: maximizes queue contention relative to
+  // work, the worst case for the dispatch path.
+  const size_t n = 20000;
+  std::vector<uint8_t> hits(n, 0);
+  ParallelFor(8, n, [&hits](size_t i) { ++hits[i]; });
+  size_t total = 0;
+  for (uint8_t h : hits) total += h;
+  EXPECT_EQ(total, n);
+}
 
 }  // namespace
 }  // namespace maras

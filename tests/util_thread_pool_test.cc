@@ -1,0 +1,148 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace maras {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInlineInSubmissionOrder) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+    // Inline execution: the task has already run when Submit returns.
+    ASSERT_EQ(order.size(), static_cast<size_t>(i + 1));
+  }
+  pool.Wait();
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // only the one worker touches it
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, TaskExceptionDoesNotDeadlockPool) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  // Wait() returns (no deadlock), rethrows the stored exception once, and
+  // the pool keeps serving tasks afterwards.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20);
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();  // error was cleared by the previous Wait
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPoolTest, ExceptionOnSerialPoolSurfacesInWait) {
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("inline boom"); });
+  pool.Submit([&ran] { ran.fetch_add(1); });  // later tasks still run
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must finish the whole queue, not drop it.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(EffectiveThreadsTest, SerialAndClampedCases) {
+  EXPECT_EQ(EffectiveThreads(0, 100), 1u);
+  EXPECT_EQ(EffectiveThreads(1, 100), 1u);
+  EXPECT_EQ(EffectiveThreads(8, 0), 1u);
+  EXPECT_EQ(EffectiveThreads(8, 1), 1u);
+  EXPECT_EQ(EffectiveThreads(8, 3), 3u);
+  EXPECT_EQ(EffectiveThreads(4, 100), 4u);
+}
+
+class ParallelForThreadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelForThreadSweep, TouchesEveryIndexExactlyOnce) {
+  const size_t n = 500;
+  std::vector<int> touched(n, 0);
+  ParallelFor(GetParam(), n, [&touched](size_t i) { touched[i] += 1; });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForThreadSweep, OrderedResultCollection) {
+  const size_t n = 200;
+  std::vector<size_t> squares = ParallelMap<size_t>(
+      GetParam(), n, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreadSweep,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  bool called = false;
+  ParallelFor(4, 0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesWithoutDeadlock) {
+  EXPECT_THROW(
+      ParallelFor(4, 100,
+                  [](size_t i) {
+                    if (i == 17) throw std::runtime_error("index 17");
+                  }),
+      std::runtime_error);
+  // Serial path propagates too.
+  EXPECT_THROW(
+      ParallelFor(1, 10,
+                  [](size_t i) {
+                    if (i == 3) throw std::runtime_error("index 3");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace maras
