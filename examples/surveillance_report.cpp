@@ -5,8 +5,16 @@
 // the visual front end, and trend/glyph SVGs.
 //
 //   $ ./examples/surveillance_report <output-dir> [reports=12000] [seed=20140101]
+//       [--deadline-ms=N] [--memory-budget-mb=N]
+//       [--checkpoint-dir=DIR] [--resume]
 //
 // Writes: report.md, analysis.json, trend_*.svg, top_glyph.svg
+//
+// The governance flags run the analysis through the resource-governed,
+// checkpointed MultiQuarterPipeline: a deadline or memory budget stops a
+// runaway run cooperatively (exit code 3) instead of hanging or OOMing,
+// --checkpoint-dir snapshots each completed stage atomically, and --resume
+// replays validated snapshots so an interrupted run picks up where it died.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 #include "faers/preprocess.h"
 #include "util/delimited.h"
 #include "util/logging.h"
+#include "util/run_context.h"
 #include "util/string_util.h"
 #include "viz/glyph.h"
 #include "viz/linechart.h"
@@ -31,13 +40,18 @@ using namespace maras;
 
 namespace {
 
-faers::PreprocessResult PrepareQuarter(int quarter, size_t reports,
-                                       uint64_t seed) {
+faers::GeneratorConfig QuarterConfig(int quarter, size_t reports,
+                                     uint64_t seed) {
   faers::GeneratorConfig config;
   config.quarter = quarter;
   config.n_reports = reports;
   config.seed = seed;
-  faers::SyntheticGenerator generator(config);
+  return config;
+}
+
+faers::PreprocessResult PrepareQuarter(int quarter, size_t reports,
+                                       uint64_t seed) {
+  faers::SyntheticGenerator generator(QuarterConfig(quarter, reports, seed));
   auto dataset = generator.Generate();
   MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
   faers::Preprocessor preprocessor{faers::PreprocessOptions{}};
@@ -46,18 +60,149 @@ faers::PreprocessResult PrepareQuarter(int quarter, size_t reports,
   return *std::move(pre);
 }
 
+struct CliFlags {
+  int64_t deadline_ms = 0;       // 0 = no deadline
+  size_t memory_budget_mb = 0;   // 0 = no budget
+  std::string checkpoint_dir;
+  bool resume = false;
+
+  bool governed() const {
+    return deadline_ms > 0 || memory_budget_mb > 0 ||
+           !checkpoint_dir.empty();
+  }
+};
+
+bool ParseFlag(const std::string& arg, CliFlags* flags) {
+  if (arg.rfind("--deadline-ms=", 0) == 0) {
+    flags->deadline_ms = std::atoll(arg.c_str() + 14);
+    return true;
+  }
+  if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+    flags->memory_budget_mb =
+        static_cast<size_t>(std::atoll(arg.c_str() + 19));
+    return true;
+  }
+  if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+    flags->checkpoint_dir = arg.substr(17);
+    return true;
+  }
+  if (arg == "--resume") {
+    flags->resume = true;
+    return true;
+  }
+  return false;
+}
+
+// The governed path: pooled multi-quarter analysis through the
+// checkpointed, resource-governed pipeline. Returns the process exit code.
+int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
+                const CliFlags& flags) {
+  std::vector<faers::QuarterDataset> quarters;
+  for (int q = 1; q <= 4; ++q) {
+    faers::SyntheticGenerator generator(QuarterConfig(q, reports, seed));
+    auto dataset = generator.Generate();
+    MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
+    quarters.push_back(*std::move(dataset));
+  }
+
+  CancellationToken cancel;
+  MemoryBudget budget(flags.memory_budget_mb << 20);
+  RunContext ctx;
+  ctx.cancel = &cancel;
+  if (flags.deadline_ms > 0) {
+    ctx.deadline = Deadline::AfterMillis(flags.deadline_ms);
+  }
+  if (flags.memory_budget_mb > 0) ctx.budget = &budget;
+
+  core::MultiQuarterOptions pipeline_options;
+  pipeline_options.context = &ctx;
+  pipeline_options.checkpoint_dir = flags.checkpoint_dir;
+  pipeline_options.resume = flags.resume;
+
+  core::AnalyzerOptions analyzer;
+  analyzer.mining.min_support = std::max<size_t>(6, reports / 4000);
+  analyzer.mining.max_itemset_size = 7;
+  // Under a budget, degrade (raise min_support, tag truncated) rather
+  // than fail: a coarser report beats no report for a safety evaluator.
+  analyzer.degradation.enabled = ctx.budget != nullptr;
+
+  core::MultiQuarterPipeline pipeline(pipeline_options);
+  auto analysis = pipeline.RunAnalyzed(quarters, analyzer);
+  if (!analysis.ok()) {
+    const maras::Status& status = analysis.status();
+    std::fprintf(stderr, "surveillance run stopped: %s\n",
+                 status.ToString().c_str());
+    return status.IsDeadlineExceeded() || status.IsResourceExhausted() ||
+                   status.IsCancelled()
+               ? 3
+               : 1;
+  }
+
+  std::printf("pooled %zu/%zu quarters: %zu reports, %zu rules, "
+              "%zu ranked MCACs (min_support=%zu%s)\n",
+              analysis->run.quarters_loaded, quarters.size(),
+              analysis->run.merged.transactions.size(),
+              analysis->rules.size(), analysis->ranked.size(),
+              analysis->min_support_used,
+              analysis->truncated ? ", truncated" : "");
+  if (analysis->stages_resumed > 0) {
+    std::printf("resumed %zu stage(s) from %s\n", analysis->stages_resumed,
+                flags.checkpoint_dir.c_str());
+  }
+  for (const std::string& note : analysis->notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  if (ctx.budget != nullptr) {
+    std::printf("memory budget: peak %.1f MiB of %.1f MiB\n",
+                static_cast<double>(ctx.budget->peak()) / (1 << 20),
+                static_cast<double>(ctx.budget->limit()) / (1 << 20));
+  }
+
+  core::AnalysisResult exportable;
+  exportable.stats = analysis->stats;
+  exportable.truncated = analysis->truncated;
+  for (const auto& ranked : analysis->ranked) {
+    exportable.mcacs.push_back(ranked.mcac);
+  }
+  core::ExportOptions export_options;
+  export_options.max_clusters = 50;
+  std::string json_text = core::ExportAnalysisToJson(
+      exportable, analysis->run.merged.items,
+      core::RankingMethod::kExclusivenessConfidence,
+      core::ExclusivenessOptions{}, export_options);
+  MARAS_CHECK(
+      WriteStringToFile(out_dir + "/analysis.json", json_text).ok());
+  std::printf("wrote analysis.json to %s\n", out_dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <output-dir> [reports] [seed]\n", argv[0]);
+  CliFlags flags;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!ParseFlag(arg, &flags)) positional.push_back(std::move(arg));
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <output-dir> [reports] [seed] [--deadline-ms=N] "
+                 "[--memory-budget-mb=N] [--checkpoint-dir=DIR] [--resume]\n",
+                 argv[0]);
     return 2;
   }
-  const std::string out_dir = argv[1];
-  const size_t reports = argc > 2 ? static_cast<size_t>(std::atoll(argv[2]))
-                                  : 12000;
+  const std::string out_dir = positional[0];
+  const size_t reports =
+      positional.size() > 1
+          ? static_cast<size_t>(std::atoll(positional[1].c_str()))
+          : 12000;
   const uint64_t seed =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20140101;
+      positional.size() > 2
+          ? std::strtoull(positional[2].c_str(), nullptr, 10)
+          : 20140101;
+
+  if (flags.governed()) return RunGoverned(out_dir, reports, seed, flags);
 
   // Load the year; the report focuses on the latest quarter (Q4).
   std::vector<faers::PreprocessResult> year;

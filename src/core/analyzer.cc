@@ -2,9 +2,12 @@
 
 #include <optional>
 
+#include <algorithm>
+
 #include "mining/closed_itemsets.h"
 #include "mining/fpgrowth.h"
 #include "mining/rules.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace maras::core {
@@ -27,6 +30,35 @@ void CountDomains(const mining::Itemset& itemset,
 }
 
 }  // namespace
+
+maras::StatusOr<GovernedMineResult> MineWithDegradation(
+    const mining::TransactionDatabase& db, mining::MiningOptions options,
+    const DegradationOptions& degradation) {
+  GovernedMineResult outcome;
+  for (size_t attempt = 0;; ++attempt) {
+    mining::FpGrowth miner(options);
+    maras::StatusOr<mining::FrequentItemsetResult> mined = miner.Mine(db);
+    if (mined.ok()) {
+      outcome.frequent = *std::move(mined);
+      outcome.min_support_used = options.min_support;
+      return outcome;
+    }
+    if (!degradation.enabled || !mined.status().IsResourceExhausted() ||
+        attempt >= degradation.max_retries) {
+      return mined.status();
+    }
+    const size_t escalated = std::max(
+        options.min_support + 1,
+        static_cast<size_t>(static_cast<double>(options.min_support) *
+                            degradation.support_factor));
+    outcome.notes.push_back(
+        "memory budget exhausted at min_support=" +
+        std::to_string(options.min_support) + "; retrying at min_support=" +
+        std::to_string(escalated) + " (result will be truncated)");
+    options.min_support = escalated;
+    outcome.truncated = true;
+  }
+}
 
 maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
     const faers::PreprocessResult& input) const {
@@ -54,17 +86,26 @@ maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
     return maras::Status::FailedPrecondition("empty transaction database");
   }
   AnalysisResult result;
+  const RunContext* ctx = options_.mining.context;
+  const RunContext ungoverned;
+  const RunContext& governed = ctx != nullptr ? *ctx : ungoverned;
 
-  // Phase 1: frequent itemsets (FP-Growth, Section 5.2).
-  mining::FpGrowth miner(options_.mining);
-  MARAS_ASSIGN_OR_RETURN(mining::FrequentItemsetResult frequent,
-                         miner.Mine(db));
+  // Phase 1: frequent itemsets (FP-Growth, Section 5.2), with the opt-in
+  // degradation ladder when the run is governed by a memory budget.
+  MARAS_ASSIGN_OR_RETURN(
+      GovernedMineResult mined,
+      MineWithDegradation(db, options_.mining, options_.degradation));
+  result.truncated = mined.truncated;
+  result.degradation_notes = std::move(mined.notes);
+  const mining::FrequentItemsetResult& frequent = mined.frequent;
 
   // Phase 2: rule-space statistics. "Total rules" is the traditional
   // unconstrained rule count; "filtered" keeps drugs ⇒ ADRs form.
-  result.stats.total_rules =
-      mining::CountAllPartitionRules(frequent, options_.min_confidence)
-          .total_rules;
+  MARAS_ASSIGN_OR_RETURN(
+      mining::RuleSpaceCount rule_count,
+      mining::CountAllPartitionRules(frequent, options_.min_confidence,
+                                     governed));
+  result.stats.total_rules = rule_count.total_rules;
   for (const mining::FrequentItemset& fi : frequent.itemsets()) {
     size_t drugs = 0, adrs = 0;
     CountDomains(fi.items, items, &drugs, &adrs);
@@ -77,8 +118,9 @@ maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
   // exact context supports for up to 2^n − 2 subsets — fans out to the pool,
   // one independent slot per candidate. The serial in-order reduce below
   // keeps mcac order and error choice identical to a serial run.
-  mining::FrequentItemsetResult closed =
-      mining::FilterClosed(frequent, options_.mining.num_threads);
+  MARAS_ASSIGN_OR_RETURN(
+      mining::FrequentItemsetResult closed,
+      mining::FilterClosed(frequent, options_.mining.num_threads, governed));
   McacBuilder builder(&items, &db);
   std::vector<const mining::FrequentItemset*> candidates;
   for (const mining::FrequentItemset& fi : closed.itemsets()) {
@@ -90,22 +132,31 @@ maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
     candidates.push_back(&fi);
   }
   // nullopt = candidate filtered out (not closed in db / low confidence).
+  // TryParallelFor polls the run context before each candidate, so a
+  // cancellation or deadline trip stops scheduling the remaining ones.
   std::vector<std::optional<maras::StatusOr<Mcac>>> built(candidates.size());
-  maras::ParallelFor(
-      options_.mining.num_threads, candidates.size(), [&](size_t i) {
+  maras::Status mcac_status = maras::TryParallelFor(
+      options_.mining.num_threads, candidates.size(), governed,
+      [&](size_t i) -> maras::Status {
         const mining::FrequentItemset& fi = *candidates[i];
         if (options_.verify_closed_in_db &&
             !mining::IsClosedInDatabase(db, fi.items)) {
-          return;
+          return maras::Status::OK();
         }
         maras::StatusOr<DrugAdrRule> target = BuildRule(fi.items, items, db);
         if (!target.ok()) {
           built[i].emplace(target.status());
-          return;
+          return maras::Status::OK();
         }
-        if (target->confidence < options_.min_confidence) return;
+        if (target->confidence < options_.min_confidence) {
+          return maras::Status::OK();
+        }
         built[i].emplace(builder.Build(*target));
+        return maras::Status::OK();
       });
+  if (!mcac_status.ok()) {
+    return maras::WithContext(mcac_status, "mcac-build");
+  }
   for (std::optional<maras::StatusOr<Mcac>>& slot : built) {
     if (!slot.has_value()) continue;
     MARAS_ASSIGN_OR_RETURN(Mcac mcac, std::move(*slot));

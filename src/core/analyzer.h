@@ -13,6 +13,18 @@
 
 namespace maras::core {
 
+// Opt-in graceful degradation under a memory budget: when a governed mine
+// trips kResourceExhausted, escalate min_support one notch and retry rather
+// than failing the run. A deadline or cancellation trip is never retried —
+// the time is already gone. Results produced this way are tagged truncated.
+struct DegradationOptions {
+  bool enabled = false;
+  // Upper bound on escalation retries before the budget error is returned.
+  size_t max_retries = 3;
+  // One notch: min_support <- max(min_support + 1, min_support * factor).
+  double support_factor = 2.0;
+};
+
 // End-to-end MARAS analysis options (mining + contextual ranking).
 struct AnalyzerOptions {
   // mining.num_threads also drives the analyzer's own fan-out (closed-set
@@ -30,6 +42,8 @@ struct AnalyzerOptions {
   // itemset family (the in-family closedness filter cannot see equal-support
   // supersets beyond the cap); costs one closure computation per candidate.
   bool verify_closed_in_db = true;
+  // Graceful degradation for governed runs (mining.context with a budget).
+  DegradationOptions degradation;
 };
 
 // Rule-space statistics backing Fig. 5.1.
@@ -48,7 +62,30 @@ struct AnalysisResult {
   // quarantine) ingest so downstream consumers see what the mined corpus is
   // missing. Empty for clean strict runs — the exported JSON is unchanged.
   std::vector<std::string> ingest_warnings;
+  // True when the mine completed only after degradation raised min_support —
+  // the result is sound for the support it reports but omits rarer patterns.
+  bool truncated = false;
+  // One note per degradation retry, e.g. which budget trip raised support
+  // from what to what. Empty for clean runs.
+  std::vector<std::string> degradation_notes;
 };
+
+// The outcome of a (possibly degraded) governed mining pass.
+struct GovernedMineResult {
+  mining::FrequentItemsetResult frequent;
+  size_t min_support_used = 0;
+  bool truncated = false;
+  std::vector<std::string> notes;
+};
+
+// Mines `db` under `options`, applying the degradation ladder on
+// kResourceExhausted when enabled: each retry escalates min_support one
+// notch (the failed attempt has already released its budget charges, so the
+// retry starts from clean accounting). Every other error — including
+// deadline and cancellation — propagates unchanged.
+maras::StatusOr<GovernedMineResult> MineWithDegradation(
+    const mining::TransactionDatabase& db, mining::MiningOptions options,
+    const DegradationOptions& degradation);
 
 // The MARAS pipeline facade (Fig. 1.1): mine closed drug-ADR associations
 // from preprocessed reports, build each multi-drug target's contextual

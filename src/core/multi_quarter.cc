@@ -2,9 +2,13 @@
 
 #include <optional>
 
+#include "core/checkpoint.h"
 #include "faers/ascii_format.h"
 #include "faers/dedup.h"
+#include "mining/closed_itemsets.h"
 #include "mining/measures.h"
+#include "mining/rules.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace maras::core {
@@ -157,16 +161,26 @@ static maras::StatusOr<MultiQuarterRun> RunPipeline(
     LabelFn&& label_of, LoadFn&& load_one) {
   const bool strict =
       options.ingest.policy == faers::IngestPolicy::kStrict;
+  const maras::RunContext ungoverned;
+  const maras::RunContext& ctx =
+      options.context != nullptr ? *options.context : ungoverned;
   // Phase 1 — fan out: each quarter is processed by one pool task into its
-  // own (outcome, result) slot; nothing is shared between tasks.
+  // own (outcome, result) slot; nothing is shared between tasks. The run
+  // context is polled before each quarter is handed out, so a governance
+  // trip stops scheduling remaining quarters.
   const size_t n = quarters.size();
   std::vector<QuarterOutcome> outcomes(n);
   std::vector<std::optional<maras::StatusOr<faers::PreprocessResult>>>
       processed(n);
-  maras::ParallelFor(options.num_threads, n, [&](size_t i) {
-    outcomes[i].label = label_of(quarters[i]);
-    processed[i].emplace(load_one(quarters[i], &outcomes[i]));
-  });
+  maras::Status fan_out = maras::TryParallelFor(
+      options.num_threads, n, ctx, [&](size_t i) -> maras::Status {
+        outcomes[i].label = label_of(quarters[i]);
+        processed[i].emplace(load_one(quarters[i], &outcomes[i]));
+        return maras::Status::OK();
+      });
+  if (!fan_out.ok()) {
+    return maras::WithContext(fan_out, "multi-quarter ingest");
+  }
   // Phase 2 — reduce serially in input order, so accounting, warning order,
   // strict-mode error choice, and the merged corpus match the serial run.
   MultiQuarterRun run;
@@ -229,6 +243,313 @@ maras::StatusOr<MultiQuarterRun> MultiQuarterPipeline::Run(
       [this](const faers::QuarterDataset& dataset, QuarterOutcome* outcome) {
         return ProcessQuarter(dataset, outcome);
       });
+}
+
+namespace {
+
+// Counts drug/ADR items of `itemset` under the merged vocabulary.
+void CountItemDomains(const mining::Itemset& itemset,
+                      const mining::ItemDictionary& items, size_t* drugs,
+                      size_t* adrs) {
+  *drugs = 0;
+  *adrs = 0;
+  for (mining::ItemId id : itemset) {
+    if (items.Domain(id) == mining::ItemDomain::kDrug) {
+      ++*drugs;
+    } else {
+      ++*adrs;
+    }
+  }
+}
+
+// Crash-injection point: fires after `stage` (and its checkpoint write)
+// completed. Returning false simulates a process kill at that boundary.
+maras::Status FireStageHook(const MultiQuarterOptions& options,
+                            const std::string& stage) {
+  if (options.stage_hook && !options.stage_hook(stage)) {
+    return maras::Status::Cancelled("injected crash at stage " + stage);
+  }
+  return maras::Status::OK();
+}
+
+// Attempts to replay `stage` from a checkpoint; decode(payload) must return
+// true on success. NotFound is silent (nothing written yet); a corrupt
+// snapshot adds a recompute note so a degraded resume is visible.
+template <typename DecodeFn>
+bool TryResumeStage(const MultiQuarterOptions& options,
+                    const std::string& stage, DecodeFn&& decode,
+                    std::vector<std::string>* notes) {
+  if (options.checkpoint_dir.empty() || !options.resume) return false;
+  maras::StatusOr<std::string> payload =
+      ReadCheckpoint(options.checkpoint_dir, stage);
+  if (payload.ok()) {
+    maras::Status decoded = decode(*payload);
+    if (decoded.ok()) return true;
+    notes->push_back("checkpoint for stage '" + stage +
+                     "' rejected: " + decoded.ToString() + "; recomputing");
+    return false;
+  }
+  if (!payload.status().IsNotFound()) {
+    notes->push_back("checkpoint for stage '" + stage +
+                     "' rejected: " + payload.status().ToString() +
+                     "; recomputing");
+  }
+  return false;
+}
+
+}  // namespace
+
+maras::StatusOr<SurveillanceAnalysis> MultiQuarterPipeline::RunAnalyzed(
+    const std::vector<faers::QuarterDataset>& quarters,
+    const AnalyzerOptions& analyzer, RankingMethod method) const {
+  if (quarters.empty()) {
+    return maras::Status::InvalidArgument("no quarters to ingest");
+  }
+  const bool strict = options_.ingest.policy == faers::IngestPolicy::kStrict;
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  const maras::RunContext ungoverned;
+  const maras::RunContext& ctx =
+      options_.context != nullptr ? *options_.context : ungoverned;
+  SurveillanceAnalysis out;
+
+  // --- Stage 1: per-quarter ingest + preprocess, one snapshot each -------
+  const size_t n = quarters.size();
+  std::vector<QuarterCheckpoint> slots(n);
+  std::vector<char> from_disk(n, 0);
+  std::vector<maras::Status> failures(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string label = quarters[i].Label();
+    const bool resumed = TryResumeStage(
+        options_, "quarter-" + label,
+        [&](const std::string& payload) -> maras::Status {
+          MARAS_ASSIGN_OR_RETURN(QuarterCheckpoint decoded,
+                                 DecodeQuarterCheckpoint(payload));
+          if (decoded.outcome.label != label) {
+            return maras::Status::Corruption("snapshot is for quarter '" +
+                                             decoded.outcome.label + "'");
+          }
+          slots[i] = std::move(decoded);
+          return maras::Status::OK();
+        },
+        &out.notes);
+    if (resumed) {
+      from_disk[i] = 1;
+      ++out.stages_resumed;
+    }
+  }
+  maras::Status fan_out = maras::TryParallelFor(
+      options_.num_threads, n, ctx, [&](size_t i) -> maras::Status {
+        if (from_disk[i]) return maras::Status::OK();
+        slots[i].outcome.label = quarters[i].Label();
+        maras::StatusOr<faers::PreprocessResult> result =
+            ProcessQuarter(quarters[i], &slots[i].outcome);
+        if (result.ok()) {
+          slots[i].outcome.loaded = true;
+          slots[i].result = *std::move(result);
+        } else {
+          failures[i] = result.status();
+          slots[i].outcome.error = result.status().ToString();
+        }
+        return maras::Status::OK();
+      });
+  if (!fan_out.ok()) {
+    return maras::WithContext(fan_out, "multi-quarter ingest");
+  }
+  // Serial in-order reduce: checkpoint writes, crash hooks, accounting and
+  // strict-mode error choice all follow input order, exactly like the
+  // serial run.
+  MultiQuarterRun run;
+  for (size_t i = 0; i < n; ++i) {
+    QuarterCheckpoint& quarter = slots[i];
+    const std::string stage = "quarter-" + quarter.outcome.label;
+    if (strict && !quarter.outcome.loaded) {
+      if (!failures[i].ok()) {
+        return maras::WithContext(failures[i],
+                                  "quarter " + quarter.outcome.label);
+      }
+      return maras::WithContext(
+          maras::Status::Corruption(quarter.outcome.error),
+          "quarter " + quarter.outcome.label);
+    }
+    if (!from_disk[i]) {
+      if (checkpointing) {
+        MARAS_RETURN_IF_ERROR(WriteCheckpoint(
+            options_.checkpoint_dir, stage, EncodeQuarterCheckpoint(quarter)));
+      }
+      MARAS_RETURN_IF_ERROR(FireStageHook(options_, stage));
+    }
+    if (quarter.outcome.loaded) {
+      ++run.quarters_loaded;
+    } else {
+      run.ingest.warnings.push_back("skipping quarter " +
+                                    quarter.outcome.label + ": " +
+                                    quarter.outcome.error);
+    }
+    run.ingest.Merge(quarter.outcome.ingest);
+    run.outcomes.push_back(quarter.outcome);
+  }
+  if (run.quarters_loaded == 0) {
+    return maras::Status::Corruption("all " + std::to_string(n) +
+                                     " quarters failed ingestion");
+  }
+  // The merge is cheap and purely derived from the per-quarter snapshots,
+  // so it is recomputed rather than checkpointed.
+  std::vector<const faers::PreprocessResult*> loaded;
+  for (const QuarterCheckpoint& quarter : slots) {
+    if (quarter.result.has_value()) loaded.push_back(&*quarter.result);
+  }
+  MARAS_ASSIGN_OR_RETURN(run.merged, MergeQuarters(loaded));
+  const mining::ItemDictionary& items = run.merged.items;
+  const mining::TransactionDatabase& db = run.merged.transactions;
+
+  // --- Stage 2: closed-itemset mining ("closed") -------------------------
+  MARAS_RETURN_IF_ERROR(ctx.Check());
+  ClosedCheckpoint closed_stage;
+  bool closed_resumed = TryResumeStage(
+      options_, "closed",
+      [&](const std::string& payload) -> maras::Status {
+        MARAS_ASSIGN_OR_RETURN(closed_stage, DecodeClosedCheckpoint(payload));
+        return maras::Status::OK();
+      },
+      &out.notes);
+  if (closed_resumed) {
+    ++out.stages_resumed;
+  } else {
+    mining::MiningOptions mining_options = analyzer.mining;
+    mining_options.context = options_.context;
+    MARAS_ASSIGN_OR_RETURN(
+        GovernedMineResult mined,
+        MineWithDegradation(db, mining_options, analyzer.degradation));
+    closed_stage.min_support_used = mined.min_support_used;
+    closed_stage.truncated = mined.truncated;
+    closed_stage.notes = std::move(mined.notes);
+    MARAS_ASSIGN_OR_RETURN(
+        mining::RuleSpaceCount rule_count,
+        mining::CountAllPartitionRules(mined.frequent,
+                                       analyzer.min_confidence, ctx));
+    closed_stage.stats.total_rules = rule_count.total_rules;
+    for (const mining::FrequentItemset& fi : mined.frequent.itemsets()) {
+      size_t drugs = 0, adrs = 0;
+      CountItemDomains(fi.items, items, &drugs, &adrs);
+      if (drugs >= 1 && adrs >= 1) ++closed_stage.stats.filtered_rules;
+    }
+    MARAS_ASSIGN_OR_RETURN(
+        closed_stage.closed,
+        mining::FilterClosed(mined.frequent, mining_options.num_threads,
+                             ctx));
+    for (const mining::FrequentItemset& fi : closed_stage.closed.itemsets()) {
+      size_t drugs = 0, adrs = 0;
+      CountItemDomains(fi.items, items, &drugs, &adrs);
+      if (drugs >= 1 && adrs >= 1) ++closed_stage.stats.closed_mixed;
+    }
+    if (checkpointing) {
+      MARAS_RETURN_IF_ERROR(WriteCheckpoint(
+          options_.checkpoint_dir, "closed",
+          EncodeClosedCheckpoint(closed_stage)));
+    }
+    MARAS_RETURN_IF_ERROR(FireStageHook(options_, "closed"));
+  }
+
+  // --- Stage 3: target rule generation ("rules") -------------------------
+  MARAS_RETURN_IF_ERROR(ctx.Check());
+  std::vector<DrugAdrRule> rules;
+  bool rules_resumed = TryResumeStage(
+      options_, "rules",
+      [&](const std::string& payload) -> maras::Status {
+        MARAS_ASSIGN_OR_RETURN(rules, DecodeRules(payload));
+        return maras::Status::OK();
+      },
+      &out.notes);
+  if (rules_resumed) {
+    ++out.stages_resumed;
+  } else {
+    std::vector<const mining::FrequentItemset*> candidates;
+    for (const mining::FrequentItemset& fi : closed_stage.closed.itemsets()) {
+      size_t drugs = 0, adrs = 0;
+      CountItemDomains(fi.items, items, &drugs, &adrs);
+      if (drugs < 2 || adrs < 1) continue;
+      if (drugs > analyzer.max_drugs_per_rule) continue;
+      candidates.push_back(&fi);
+    }
+    std::vector<std::optional<DrugAdrRule>> built(candidates.size());
+    std::vector<maras::Status> errors(candidates.size());
+    maras::Status status = maras::TryParallelFor(
+        analyzer.mining.num_threads, candidates.size(), ctx,
+        [&](size_t i) -> maras::Status {
+          const mining::FrequentItemset& fi = *candidates[i];
+          if (analyzer.verify_closed_in_db &&
+              !mining::IsClosedInDatabase(db, fi.items)) {
+            return maras::Status::OK();
+          }
+          maras::StatusOr<DrugAdrRule> target =
+              BuildRule(fi.items, items, db);
+          if (!target.ok()) {
+            errors[i] = target.status();
+            return maras::Status::OK();
+          }
+          if (target->confidence >= analyzer.min_confidence) {
+            built[i] = *std::move(target);
+          }
+          return maras::Status::OK();
+        });
+    if (!status.ok()) return maras::WithContext(status, "rule-gen");
+    for (size_t i = 0; i < built.size(); ++i) {
+      MARAS_RETURN_IF_ERROR(errors[i]);
+      if (built[i].has_value()) rules.push_back(*std::move(built[i]));
+    }
+    if (checkpointing) {
+      MARAS_RETURN_IF_ERROR(WriteCheckpoint(options_.checkpoint_dir, "rules",
+                                            EncodeRules(rules)));
+    }
+    MARAS_RETURN_IF_ERROR(FireStageHook(options_, "rules"));
+  }
+
+  // --- Stage 4: MCAC construction + ranking ("ranked") -------------------
+  MARAS_RETURN_IF_ERROR(ctx.Check());
+  std::vector<RankedMcac> ranked;
+  bool ranked_resumed = TryResumeStage(
+      options_, "ranked",
+      [&](const std::string& payload) -> maras::Status {
+        MARAS_ASSIGN_OR_RETURN(ranked, DecodeRankedMcacs(payload));
+        return maras::Status::OK();
+      },
+      &out.notes);
+  if (ranked_resumed) {
+    ++out.stages_resumed;
+  } else {
+    McacBuilder builder(&items, &db);
+    std::vector<std::optional<maras::StatusOr<Mcac>>> built(rules.size());
+    maras::Status status = maras::TryParallelFor(
+        analyzer.mining.num_threads, rules.size(), ctx,
+        [&](size_t i) -> maras::Status {
+          built[i].emplace(builder.Build(rules[i]));
+          return maras::Status::OK();
+        });
+    if (!status.ok()) return maras::WithContext(status, "mcac-build");
+    std::vector<Mcac> mcacs;
+    for (std::optional<maras::StatusOr<Mcac>>& slot : built) {
+      MARAS_ASSIGN_OR_RETURN(Mcac mcac, std::move(*slot));
+      mcacs.push_back(std::move(mcac));
+    }
+    ranked = RankMcacs(mcacs, method, analyzer.exclusiveness);
+    if (checkpointing) {
+      MARAS_RETURN_IF_ERROR(WriteCheckpoint(options_.checkpoint_dir, "ranked",
+                                            EncodeRankedMcacs(ranked)));
+    }
+    MARAS_RETURN_IF_ERROR(FireStageHook(options_, "ranked"));
+  }
+
+  out.run = std::move(run);
+  out.closed = std::move(closed_stage.closed);
+  out.rules = std::move(rules);
+  out.ranked = std::move(ranked);
+  out.stats = closed_stage.stats;
+  out.stats.mcac_count = out.ranked.size();
+  out.min_support_used = static_cast<size_t>(closed_stage.min_support_used);
+  out.truncated = closed_stage.truncated;
+  out.notes.insert(out.notes.end(), closed_stage.notes.begin(),
+                   closed_stage.notes.end());
+  return out;
 }
 
 TrendVerdict ClassifyTrend(const std::vector<QuarterlySignalTrend>& trend,

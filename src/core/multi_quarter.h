@@ -1,14 +1,21 @@
 #ifndef MARAS_CORE_MULTI_QUARTER_H_
 #define MARAS_CORE_MULTI_QUARTER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/analyzer.h"
 #include "core/drug_adr_rule.h"
+#include "core/ranking.h"
 #include "faers/ingest.h"
 #include "faers/preprocess.h"
 #include "faers/validate.h"
 #include "util/statusor.h"
+
+namespace maras {
+struct RunContext;
+}  // namespace maras
 
 namespace maras::core {
 
@@ -90,6 +97,25 @@ struct MultiQuarterOptions {
   // (0 and 1 both mean serial). Under kStrict the error reported is still
   // the first failing quarter in input order.
   size_t num_threads = 1;
+  // Resource governance for the whole run (util/run_context.h): the quarter
+  // fan-out, mining, closed-set filtering, rule generation and MCAC
+  // construction all poll it at bounded intervals and stop cooperatively
+  // with kCancelled / kDeadlineExceeded / kResourceExhausted. nullptr =
+  // ungoverned.
+  const maras::RunContext* context = nullptr;
+  // When non-empty, RunAnalyzed snapshots each completed stage into this
+  // directory as an atomic, checksummed checkpoint (core/checkpoint.h).
+  std::string checkpoint_dir;
+  // With checkpoint_dir set: replay completed stages from validated
+  // snapshots instead of recomputing them. A missing or corrupt snapshot is
+  // recomputed (corruption adds a note naming the rejected file); the
+  // resumed result is byte-identical to an uninterrupted run.
+  bool resume = false;
+  // Test-only crash injection: invoked after each stage — and its
+  // checkpoint write — completes. Returning false aborts the run with
+  // kCancelled, leaving exactly the on-disk state a process kill at that
+  // stage boundary would leave. Never fires for stages replayed from disk.
+  std::function<bool(const std::string& stage)> stage_hook;
 };
 
 // Per-quarter outcome: either it contributed to the merged corpus, or it was
@@ -111,6 +137,25 @@ struct MultiQuarterRun {
   size_t quarters_loaded = 0;
 };
 
+// The full surveillance product of a checkpointed run: the pooled corpus
+// plus every analysis stage's output. Field order mirrors stage order.
+struct SurveillanceAnalysis {
+  MultiQuarterRun run;
+  mining::FrequentItemsetResult closed;  // closed itemsets of the mine
+  std::vector<DrugAdrRule> rules;        // target drug-ADR rules, in
+                                         // canonical closed-itemset order
+  std::vector<RankedMcac> ranked;        // MCACs under the chosen method
+  RuleSpaceStats stats;
+  // Mining support actually used — higher than requested when the
+  // degradation ladder escalated it under a memory budget.
+  size_t min_support_used = 0;
+  bool truncated = false;
+  // Degradation and resume/corruption notes, in the order they happened.
+  std::vector<std::string> notes;
+  // Stages replayed from checkpoints instead of recomputed.
+  size_t stages_resumed = 0;
+};
+
 class MultiQuarterPipeline {
  public:
   explicit MultiQuarterPipeline(MultiQuarterOptions options)
@@ -126,6 +171,18 @@ class MultiQuarterPipeline {
   // Same recovery semantics for quarters already parsed into memory.
   maras::StatusOr<MultiQuarterRun> Run(
       const std::vector<faers::QuarterDataset>& quarters) const;
+
+  // End-to-end checkpointed surveillance: ingest + merge, then mine closed
+  // itemsets (with the analyzer's degradation ladder when governed),
+  // generate target rules, build and rank MCACs. With checkpoint_dir set,
+  // each stage — "quarter-<label>", "closed", "rules", "ranked" — is
+  // snapshotted after it completes; with resume additionally set, completed
+  // stages are replayed from disk. The result is byte-identical to an
+  // uninterrupted run at any thread count.
+  maras::StatusOr<SurveillanceAnalysis> RunAnalyzed(
+      const std::vector<faers::QuarterDataset>& quarters,
+      const AnalyzerOptions& analyzer,
+      RankingMethod method = RankingMethod::kExclusivenessConfidence) const;
 
   const MultiQuarterOptions& options() const { return options_; }
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "mining/fpgrowth.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace maras::mining {
@@ -67,6 +68,40 @@ FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
   return closed;
 }
 
+maras::StatusOr<FrequentItemsetResult> FilterClosed(
+    const FrequentItemsetResult& all, size_t num_threads,
+    const RunContext& ctx) {
+  const std::vector<FrequentItemset>& itemsets = all.itemsets();
+  const size_t workers = EffectiveThreads(num_threads, itemsets.size());
+  // Same strided sharding as the ungoverned filter (one shard per worker,
+  // serial = one shard), with a governance poll every 256 scanned itemsets.
+  const size_t shards = workers <= 1 ? 1 : workers;
+  std::vector<std::vector<Itemset>> shard_marks(shards);
+  maras::Status status = TryParallelFor(
+      workers, shards, ctx, [&](size_t w) -> maras::Status {
+        for (size_t i = w; i < itemsets.size(); i += shards) {
+          if ((i / shards) % 256 == 0) {
+            MARAS_RETURN_IF_ERROR(ctx.Check());
+          }
+          MarkCoveredSubsets(all, itemsets[i], &shard_marks[w]);
+        }
+        return maras::Status::OK();
+      });
+  if (!status.ok()) return maras::WithContext(status, "closed-filter");
+  std::unordered_set<Itemset, ItemsetHash> not_closed;
+  for (std::vector<Itemset>& shard : shard_marks) {
+    for (Itemset& s : shard) not_closed.insert(std::move(s));
+  }
+  FrequentItemsetResult closed;
+  for (const FrequentItemset& fi : all.itemsets()) {
+    if (not_closed.count(fi.items) == 0) {
+      closed.Add(fi.items, fi.support);
+    }
+  }
+  closed.SortCanonically();
+  return closed;
+}
+
 Itemset ClosureOf(const TransactionDatabase& db, const Itemset& s) {
   std::vector<TransactionId> tids = db.ContainingTransactions(s);
   if (tids.empty()) return {};
@@ -86,6 +121,9 @@ maras::StatusOr<FrequentItemsetResult> MineClosed(
     const TransactionDatabase& db, const MiningOptions& options) {
   FpGrowth miner(options);
   MARAS_ASSIGN_OR_RETURN(FrequentItemsetResult all, miner.Mine(db));
+  if (options.context != nullptr) {
+    return FilterClosed(all, options.num_threads, *options.context);
+  }
   return FilterClosed(all, options.num_threads);
 }
 

@@ -25,6 +25,14 @@ namespace maras::mining {
 FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
                                    size_t num_threads = 1);
 
+// Governed variant: polls `ctx` (cancellation / deadline / budget) at a
+// bounded interval inside each marking shard and stops scheduling remaining
+// shards on a trip, returning the context's status wrapped "closed-filter".
+// Output is byte-identical to the ungoverned filter when nothing trips.
+maras::StatusOr<FrequentItemsetResult> FilterClosed(
+    const FrequentItemsetResult& all, size_t num_threads,
+    const RunContext& ctx);
+
 // Direct check against the database (no mined result needed): S is closed
 // iff the intersection of all transactions containing S equals S. Used by
 // property tests as independent ground truth; O(|tidlist| · |t|).
@@ -35,7 +43,7 @@ bool IsClosedInDatabase(const TransactionDatabase& db, const Itemset& s);
 Itemset ClosureOf(const TransactionDatabase& db, const Itemset& s);
 
 // Convenience: mine frequent itemsets with FP-Growth, then keep the closed
-// ones.
+// ones. Respects MiningOptions::context in both phases when it is set.
 maras::StatusOr<FrequentItemsetResult> MineClosed(
     const TransactionDatabase& db, const MiningOptions& options);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace maras::mining {
@@ -38,6 +39,13 @@ std::unique_ptr<FpTree> BuildConditionalTree(
   return tree;
 }
 
+// Approximate resident bytes of one recorded itemset: the struct, its item
+// payload, and the support-table entry. The budget bounds blow-up by order
+// of magnitude, not by exact allocator bytes, so an estimate is enough.
+size_t ItemsetFootprint(const Itemset& pattern) {
+  return sizeof(FrequentItemset) + pattern.size() * sizeof(ItemId) + 64;
+}
+
 }  // namespace
 
 maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
@@ -45,62 +53,92 @@ maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
   if (options_.min_support == 0) {
     return maras::Status::InvalidArgument("min_support must be >= 1");
   }
+  const RunContext* ctx = options_.context;
   FrequentItemsetResult result;
   std::unique_ptr<FpTree> tree = FpTree::Build(db, options_.min_support);
   const std::vector<ItemId> items = tree->ItemsBySupportAscending();
   const size_t workers = EffectiveThreads(options_.num_threads, items.size());
+  maras::Status status;
+  size_t charged = 0;
   if (workers <= 1) {
-    MineTree(*tree, /*suffix=*/{}, &result);
+    status = MineTree(*tree, /*suffix=*/{}, &result, &charged);
   } else {
     // Fan out one task per top-level item. Tasks only read the shared tree
-    // and write their own shard; the canonical sort below erases any trace
-    // of the schedule.
+    // and write their own shard (result + charge accounting); the canonical
+    // sort below erases any trace of the schedule.
+    const RunContext ungoverned;
     std::vector<FrequentItemsetResult> shards(items.size());
-    ParallelFor(workers, items.size(), [this, &tree, &items, &shards](
-                                           size_t i) {
-      MineItem(*tree, items[i], /*suffix=*/{}, &shards[i]);
-    });
-    for (FrequentItemsetResult& shard : shards) {
-      result.Absorb(std::move(shard));
+    std::vector<size_t> shard_charged(items.size(), 0);
+    status = TryParallelFor(
+        workers, items.size(), ctx != nullptr ? *ctx : ungoverned,
+        [this, &tree, &items, &shards, &shard_charged](size_t i) {
+          return MineItem(*tree, items[i], /*suffix=*/{}, &shards[i],
+                          &shard_charged[i]);
+        });
+    for (size_t c : shard_charged) charged += c;
+    if (status.ok()) {
+      for (FrequentItemsetResult& shard : shards) {
+        result.Absorb(std::move(shard));
+      }
     }
+  }
+  if (!status.ok()) {
+    // A failed mine keeps nothing, so its accounting must not linger: a
+    // degradation retry at higher support starts from a clean budget.
+    if (ctx != nullptr && ctx->budget != nullptr) ctx->budget->Release(charged);
+    return maras::WithContext(status, "fp-growth");
   }
   result.SortCanonically();
   return result;
 }
 
-void FpGrowth::MineTree(const FpTree& tree, const Itemset& suffix,
-                        FrequentItemsetResult* result) const {
+maras::Status FpGrowth::MineTree(const FpTree& tree, const Itemset& suffix,
+                                 FrequentItemsetResult* result,
+                                 size_t* charged) const {
   if (options_.max_itemset_size != 0 &&
       suffix.size() >= options_.max_itemset_size) {
-    return;
+    return maras::Status::OK();
   }
   for (ItemId item : tree.ItemsBySupportAscending()) {
-    MineItem(tree, item, suffix, result);
+    MARAS_RETURN_IF_ERROR(MineItem(tree, item, suffix, result, charged));
   }
+  return maras::Status::OK();
 }
 
-void FpGrowth::MineItem(const FpTree& tree, ItemId item, const Itemset& suffix,
-                        FrequentItemsetResult* result) const {
+maras::Status FpGrowth::MineItem(const FpTree& tree, ItemId item,
+                                 const Itemset& suffix,
+                                 FrequentItemsetResult* result,
+                                 size_t* charged) const {
   if (options_.max_itemset_size != 0 &&
       suffix.size() >= options_.max_itemset_size) {
-    return;
+    return maras::Status::OK();
+  }
+  // One poll per conditional-tree step bounds the governance interval: the
+  // non-recursive work below is O(pattern base), never unbounded.
+  if (options_.context != nullptr) {
+    MARAS_RETURN_IF_ERROR(options_.context->Check());
   }
   size_t support = tree.ItemCount(item);
-  if (support < options_.min_support) return;
+  if (support < options_.min_support) return maras::Status::OK();
   Itemset pattern = suffix;
   pattern.push_back(item);
   std::sort(pattern.begin(), pattern.end());
+  if (options_.context != nullptr) {
+    const size_t bytes = ItemsetFootprint(pattern);
+    MARAS_RETURN_IF_ERROR(options_.context->Charge(bytes));
+    *charged += bytes;
+  }
   result->Add(pattern, support);
 
   if (options_.max_itemset_size != 0 &&
       pattern.size() >= options_.max_itemset_size) {
-    return;  // no deeper extensions wanted
+    return maras::Status::OK();  // no deeper extensions wanted
   }
   auto base = tree.ConditionalPatternBase(item);
-  if (base.empty()) return;
+  if (base.empty()) return maras::Status::OK();
   std::unique_ptr<FpTree> conditional =
       BuildConditionalTree(base, options_.min_support);
-  MineTree(*conditional, pattern, result);
+  return MineTree(*conditional, pattern, result, charged);
 }
 
 }  // namespace maras::mining

@@ -4,6 +4,7 @@
 #include "mining/fptree.h"
 #include "mining/frequent_itemsets.h"
 #include "mining/transaction_db.h"
+#include "util/status.h"
 #include "util/statusor.h"
 
 namespace maras::mining {
@@ -21,6 +22,12 @@ namespace maras::mining {
 // frequent item — so the shards are disjoint, and concatenation + canonical
 // sort reconstructs the serial result byte for byte regardless of thread
 // count or schedule.
+//
+// When MiningOptions::context is set, every conditional-tree step polls it
+// (cancellation / deadline) and every recorded itemset charges the memory
+// budget; a trip unwinds cooperatively with the context's status, wrapped
+// "fp-growth", and the failed mine releases everything it charged so a
+// degradation retry starts from clean accounting.
 class FpGrowth {
  public:
   explicit FpGrowth(MiningOptions options) : options_(options) {}
@@ -29,12 +36,16 @@ class FpGrowth {
       const TransactionDatabase& db) const;
 
  private:
-  void MineTree(const FpTree& tree, const Itemset& suffix,
-                FrequentItemsetResult* result) const;
+  maras::Status MineTree(const FpTree& tree, const Itemset& suffix,
+                         FrequentItemsetResult* result,
+                         size_t* charged) const;
   // One top-level step of MineTree: record {item} ∪ suffix, project the
-  // conditional tree and recurse. The unit of parallel fan-out.
-  void MineItem(const FpTree& tree, ItemId item, const Itemset& suffix,
-                FrequentItemsetResult* result) const;
+  // conditional tree and recurse. The unit of parallel fan-out. `charged`
+  // accumulates the budget bytes this call chain charged (shard-owned in
+  // the parallel path, so no synchronization).
+  maras::Status MineItem(const FpTree& tree, ItemId item,
+                         const Itemset& suffix, FrequentItemsetResult* result,
+                         size_t* charged) const;
 
   MiningOptions options_;
 };

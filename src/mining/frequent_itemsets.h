@@ -7,6 +7,10 @@
 
 #include "mining/itemset.h"
 
+namespace maras {
+struct RunContext;
+}  // namespace maras
+
 namespace maras::mining {
 
 // A mined itemset together with its absolute support count.
@@ -63,6 +67,13 @@ struct MiningOptions {
   // suite asserts it — so this is purely a speed knob. Apriori and Eclat
   // ignore it (they are the cross-check baselines, kept serial).
   size_t num_threads = 1;
+  // Optional resource governance (util/run_context.h). When set, FP-Growth
+  // polls it once per conditional-tree step and charges its memory budget
+  // for every itemset recorded, so a runaway low-support mine stops with
+  // kCancelled / kDeadlineExceeded / kResourceExhausted instead of hanging
+  // or OOMing. The Apriori/Eclat cross-check baselines ignore it. Does not
+  // affect mined output when nothing trips. nullptr = ungoverned.
+  const RunContext* context = nullptr;
 };
 
 }  // namespace maras::mining

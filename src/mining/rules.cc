@@ -1,8 +1,10 @@
 #include "mining/rules.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "mining/measures.h"
+#include "util/run_context.h"
 
 namespace maras::mining {
 
@@ -33,9 +35,20 @@ void ForEachBipartition(const Itemset& s, Fn&& fn) {
 
 RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
                                       double min_confidence) {
+  // An empty context can never trip, so the governed path's status is OK by
+  // construction and the ungoverned API stays exception- and error-free.
+  RunContext ungoverned;
+  return std::move(CountAllPartitionRules(result, min_confidence, ungoverned))
+      .value();
+}
+
+maras::StatusOr<RuleSpaceCount> CountAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence,
+    const RunContext& ctx) {
   RuleSpaceCount count;
   for (const FrequentItemset& fi : result.itemsets()) {
     if (fi.items.size() < 2) continue;
+    MARAS_RETURN_IF_ERROR_CTX(ctx.Check(), "rule-count");
     ++count.itemsets_considered;
     if (min_confidence <= 0.0) {
       // Every bipartition passes: 2^k − 2 rules.
@@ -56,10 +69,20 @@ RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
 std::vector<AssociationRule> GenerateAllPartitionRules(
     const FrequentItemsetResult& result, double min_confidence, size_t n,
     size_t max_rules) {
+  RunContext ungoverned;
+  return std::move(GenerateAllPartitionRules(result, min_confidence, n,
+                                             max_rules, ungoverned))
+      .value();
+}
+
+maras::StatusOr<std::vector<AssociationRule>> GenerateAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence, size_t n,
+    size_t max_rules, const RunContext& ctx) {
   std::vector<AssociationRule> rules;
   for (const FrequentItemset& fi : result.itemsets()) {
     if (fi.items.size() < 2) continue;
     if (rules.size() >= max_rules) break;
+    MARAS_RETURN_IF_ERROR_CTX(ctx.Check(), "rule-gen");
     ForEachBipartition(fi.items, [&](const Itemset& a, const Itemset& b) {
       if (rules.size() >= max_rules) return;
       size_t supp_a = result.SupportOf(a);

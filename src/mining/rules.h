@@ -7,6 +7,7 @@
 
 #include "mining/frequent_itemsets.h"
 #include "mining/itemset.h"
+#include "util/statusor.h"
 
 namespace maras::mining {
 
@@ -36,6 +37,15 @@ struct RuleSpaceCount {
 RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
                                       double min_confidence);
 
+// Governed variant: polls `ctx` once per itemset considered (each itemset's
+// bipartition scan is bounded by the k <= 20 cap), so counting over a
+// pathologically large rule space stops with the context's status, wrapped
+// "rule-count", instead of running away. Identical counts when nothing
+// trips.
+maras::StatusOr<RuleSpaceCount> CountAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence,
+    const RunContext& ctx);
+
 // Materializes every bipartition rule passing `min_confidence`, up to
 // `max_rules` (guards against the exponential blow-up the paper warns
 // about). `n` is the transaction count, used for lift. Which rules make it
@@ -44,6 +54,14 @@ RuleSpaceCount CountAllPartitionRules(const FrequentItemsetResult& result,
 std::vector<AssociationRule> GenerateAllPartitionRules(
     const FrequentItemsetResult& result, double min_confidence, size_t n,
     size_t max_rules);
+
+// Governed variant: polls `ctx` once per itemset; a trip returns the
+// context's status wrapped "rule-gen". Identical rules when nothing trips
+// (memory stays bounded by `max_rules`, so only cancellation and deadline
+// are live concerns here).
+maras::StatusOr<std::vector<AssociationRule>> GenerateAllPartitionRules(
+    const FrequentItemsetResult& result, double min_confidence, size_t n,
+    size_t max_rules, const RunContext& ctx);
 
 // Sorts rules into the documented canonical order: antecedent lexicographic,
 // then consequent lexicographic, then ascending support. (A, B) determines

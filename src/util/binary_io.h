@@ -1,0 +1,116 @@
+#ifndef MARAS_UTIL_BINARY_IO_H_
+#define MARAS_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace maras {
+
+// ---------------------------------------------------------------------------
+// Little-endian binary encoding for checkpoint payloads (core/checkpoint.h).
+// Fixed-width fields only — no varints — so encodings are trivially
+// position-independent and byte-identical across platforms of the same
+// endianness. Doubles round-trip bit-exactly (raw IEEE-754 bits), which the
+// resume-equals-uninterrupted guarantee depends on: a confidence that
+// re-serializes differently would break hash identity.
+//
+// BinaryReader is bounds-checked and returns Corruption on any overrun, so
+// a torn (truncated) checkpoint payload is always detected, never read past.
+// ---------------------------------------------------------------------------
+
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  // Length-prefixed byte string.
+  void Str(std::string_view s) {
+    U64(s.size());
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string&& Take() { return std::move(out_); }
+
+ private:
+  void AppendLe(const void* v, size_t n) {
+    // All supported targets are little-endian; memcpy keeps this UB-free.
+    const char* p = static_cast<const char*>(v);
+    out_.append(p, n);
+  }
+
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v) {
+    MARAS_RETURN_IF_ERROR(Need(1));
+    *v = static_cast<uint8_t>(data_[pos_]);
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status U32(uint32_t* v) { return ReadLe(v, sizeof(*v)); }
+  Status U64(uint64_t* v) { return ReadLe(v, sizeof(*v)); }
+
+  Status F64(double* v) {
+    uint64_t bits = 0;
+    MARAS_RETURN_IF_ERROR(U64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  Status Str(std::string* s) {
+    uint64_t n = 0;
+    MARAS_RETURN_IF_ERROR(U64(&n));
+    MARAS_RETURN_IF_ERROR(Need(n));
+    s->assign(data_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  // A well-formed payload is consumed exactly; trailing bytes mean the
+  // payload and its framing disagree.
+  bool exhausted() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(uint64_t n) {
+    if (n > data_.size() - pos_) {
+      return Status::Corruption(
+          "truncated payload: need " + std::to_string(n) + " bytes at offset " +
+          std::to_string(pos_) + ", have " +
+          std::to_string(data_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ReadLe(void* v, size_t n) {
+    MARAS_RETURN_IF_ERROR(Need(n));
+    std::memcpy(v, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_BINARY_IO_H_

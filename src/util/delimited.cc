@@ -1,5 +1,8 @@
 #include "util/delimited.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -108,6 +111,39 @@ Status WriteStringToFile(const std::string& path,
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status AtomicWriteStringToFile(const std::string& path,
+                               const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open for write: " + tmp);
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Data must be durable before the rename publishes it; otherwise a crash
+  // after the rename could expose a file whose contents never hit disk.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 

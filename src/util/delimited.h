@@ -72,6 +72,14 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 // Writes `content` to `path`, replacing any existing file.
 Status WriteStringToFile(const std::string& path, const std::string& content);
 
+// Crash-safe replacement of `path`: writes to `path`.tmp in the same
+// directory, fsyncs the data, then renames over `path`. A crash at any point
+// leaves either the old complete file or the new complete file — never a
+// torn mix — which checkpoint recovery (core/checkpoint.h) relies on. The
+// leftover .tmp from a mid-write crash is simply overwritten next time.
+Status AtomicWriteStringToFile(const std::string& path,
+                               const std::string& content);
+
 }  // namespace maras
 
 #endif  // MARAS_UTIL_DELIMITED_H_

@@ -1,0 +1,32 @@
+#include "util/run_context.h"
+
+#include <string>
+
+namespace maras {
+
+Status RunContext::Check() const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("run cancelled");
+  }
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        "deadline of " + std::to_string(deadline.configured().count()) +
+        "ms exceeded");
+  }
+  if (budget != nullptr && budget->Exhausted()) {
+    return Status::ResourceExhausted(
+        "memory budget of " + std::to_string(budget->limit()) +
+        " bytes exhausted (" + std::to_string(budget->used()) + " used)");
+  }
+  return Status::OK();
+}
+
+Status RunContext::Charge(size_t bytes) const {
+  if (budget == nullptr || budget->TryCharge(bytes)) return Status::OK();
+  return Status::ResourceExhausted(
+      "memory budget of " + std::to_string(budget->limit()) +
+      " bytes exhausted (" + std::to_string(budget->used()) +
+      " used, +" + std::to_string(bytes) + " requested)");
+}
+
+}  // namespace maras

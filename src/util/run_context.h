@@ -1,0 +1,177 @@
+#ifndef MARAS_UTIL_RUN_CONTEXT_H_
+#define MARAS_UTIL_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace maras {
+
+// ---------------------------------------------------------------------------
+// Resource governance for long-running pipeline stages. Mining with a low
+// support threshold can explode combinatorially (output and memory), and a
+// surveillance service must bound a runaway analysis instead of being killed
+// from outside. The primitives here are *cooperative*: governed loops poll a
+// RunContext at bounded intervals and return
+// Status(kCancelled / kDeadlineExceeded / kResourceExhausted) — they never
+// block, signal, or unwind across threads.
+//
+// All three primitives are thread-safe: one RunContext is shared by every
+// worker of a parallel stage. An empty (default) RunContext is ungoverned
+// and every check passes at the cost of a couple of relaxed atomic loads.
+// ---------------------------------------------------------------------------
+
+// Cooperative cancellation flag. Cancel() may be called from any thread
+// (typically a serving-layer request handler or a watchdog); governed loops
+// observe it at their next poll. Cancellation is one-way and sticky.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// A point on the steady (monotonic) clock by which a governed operation must
+// finish. Built on steady_clock deliberately — wall-clock adjustments (NTP
+// steps, DST) must never extend or shorten a deadline; Stopwatch documents
+// the same monotonicity guarantee. A default-constructed Deadline is
+// infinite.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  // infinite
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline After(std::chrono::milliseconds delay) {
+    Deadline d;
+    d.at_ = Clock::now() + delay;
+    d.configured_ = delay;
+    d.infinite_ = false;
+    return d;
+  }
+  static Deadline AfterMillis(int64_t millis) {
+    return After(std::chrono::milliseconds(millis));
+  }
+
+  bool infinite() const { return infinite_; }
+  bool Expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  // Time left; zero when expired, and a very large value when infinite.
+  std::chrono::milliseconds Remaining() const {
+    if (infinite_) return std::chrono::milliseconds::max();
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+  // The originally configured delay (for diagnostics); zero when infinite.
+  std::chrono::milliseconds configured() const { return configured_; }
+
+ private:
+  Clock::time_point at_{};
+  std::chrono::milliseconds configured_{0};
+  bool infinite_ = true;
+};
+
+// Byte accounter for the durable output of a governed stage (the mined
+// result family — the term that explodes at low min-support). Charges are
+// approximate sizeof-based estimates, not allocator truth; the point is to
+// trip *before* the OOM killer would, not to meter precisely. Thread-safe:
+// parallel mining shards charge concurrently.
+class MemoryBudget {
+ public:
+  // limit_bytes == 0 means unlimited (every charge succeeds, usage is still
+  // tracked so peak() stays observable in benches).
+  explicit MemoryBudget(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Adds `bytes` to the usage. Returns false — leaving usage unchanged —
+  // when the charge would push usage past the limit.
+  bool TryCharge(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t next = used + bytes;
+      if (limit_ != 0 && next > limit_) return false;
+      if (used_.compare_exchange_weak(used, next,
+                                      std::memory_order_relaxed)) {
+        UpdatePeak(next);
+        return true;
+      }
+    }
+  }
+
+  // Returns memory a failed or abandoned stage charged (a discarded partial
+  // mining result), so a degraded retry starts from the true usage.
+  void Release(size_t bytes) {
+    size_t used = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      size_t next = used > bytes ? used - bytes : 0;
+      if (used_.compare_exchange_weak(used, next,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_; }
+  // A budget with no headroom left counts as exhausted: TryCharge never
+  // lets usage pass the limit, so reaching it exactly is the trip signal
+  // RunContext::Check observes.
+  bool Exhausted() const { return limit_ != 0 && used() >= limit_; }
+
+ private:
+  void UpdatePeak(size_t candidate) {
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (candidate > peak &&
+           !peak_.compare_exchange_weak(peak, candidate,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  size_t limit_;
+};
+
+// The bundle a governed loop polls. Non-owning: the caller that configures a
+// run (CLI flag parsing, a future request handler) owns the token and the
+// budget and must outlive the governed stages. Copyable by value — the copy
+// shares the same token/budget and the same deadline instant.
+struct RunContext {
+  const CancellationToken* cancel = nullptr;
+  Deadline deadline;              // infinite by default
+  MemoryBudget* budget = nullptr;
+
+  bool governed() const {
+    return cancel != nullptr || budget != nullptr || !deadline.infinite();
+  }
+
+  // The poll: cancellation dominates (an explicit operator decision), then
+  // the deadline, then the budget. Callers wrap the result with WithContext
+  // naming the stage, so provenance reads
+  // "fp-growth: deadline of 500ms exceeded".
+  Status Check() const;
+
+  // Charges `bytes` against the budget (no-op without one); on breach the
+  // returned kResourceExhausted carries the limit and current usage.
+  Status Charge(size_t bytes) const;
+};
+
+}  // namespace maras
+
+#endif  // MARAS_UTIL_RUN_CONTEXT_H_

@@ -27,6 +27,11 @@ class Status {
     kAlreadyExists = 6,
     kFailedPrecondition = 7,
     kInternal = 8,
+    // Resource-governance codes (util/run_context.h): a governed operation
+    // stopped cooperatively instead of running away.
+    kCancelled = 9,          // CancellationToken tripped
+    kDeadlineExceeded = 10,  // Deadline (steady clock) passed
+    kResourceExhausted = 11, // MemoryBudget breached
   };
 
   // Success status.
@@ -62,6 +67,15 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status Cancelled(std::string_view msg) {
+    return Status(Code::kCancelled, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -74,6 +88,13 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -5,7 +5,11 @@
 
 namespace maras {
 
-// Wall-clock stopwatch for coarse phase timing in benches and examples.
+// Elapsed-time stopwatch for coarse phase timing in benches and examples.
+// Built on std::chrono::steady_clock (NOT wall clock): elapsed readings are
+// monotonic and immune to NTP steps or DST changes, the same guarantee
+// util/run_context.h's Deadline relies on — a system-clock adjustment can
+// never extend or shorten a measured interval or a deadline.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

@@ -75,6 +75,52 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+Status TryParallelFor(size_t num_threads, size_t n, const RunContext& ctx,
+                      const std::function<Status(size_t)>& fn) {
+  const size_t workers = EffectiveThreads(num_threads, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      Status status = ctx.Check();
+      if (status.ok()) status = fn(i);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mu;
+  Status first_error;
+  size_t first_error_index = n;  // n = no error recorded yet
+  auto record_error = [&](size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (index < first_error_index) {
+      first_error_index = index;
+      first_error = std::move(status);
+    }
+    stop.store(true, std::memory_order_release);
+  };
+  {
+    ThreadPool pool(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        for (size_t i = next.fetch_add(1);
+             i < n && !stop.load(std::memory_order_acquire);
+             i = next.fetch_add(1)) {
+          Status status = ctx.Check();
+          if (status.ok()) status = fn(i);
+          if (!status.ok()) {
+            record_error(i, std::move(status));
+            return;
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  std::lock_guard<std::mutex> lock(error_mu);
+  return first_error_index < n ? first_error : Status::OK();
+}
+
 size_t EffectiveThreads(size_t requested, size_t items) {
   if (requested <= 1 || items <= 1) return 1;
   return std::min(requested, items);

@@ -10,6 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/run_context.h"
+#include "util/status.h"
+
 namespace maras {
 
 // Fixed-size worker pool over one locked FIFO task queue. Deliberately no
@@ -71,6 +74,19 @@ size_t EffectiveThreads(size_t requested, size_t items);
 // have stopped; a worker whose fn throws abandons its remaining indices.
 void ParallelFor(size_t num_threads, size_t n,
                  const std::function<void(size_t)>& fn);
+
+// Status-returning, resource-governed ParallelFor. Before handing out each
+// index, workers poll `ctx` (cancellation / deadline / memory budget) and a
+// shared stop flag; once either trips, no further index is scheduled —
+// indices already running finish normally. Error choice is first-error-wins
+// with lowest-index preference: among the failures actually observed, the
+// one with the smallest index is returned (so a lone failing shard yields a
+// deterministic result at any thread count, and the serial path returns the
+// first failure in index order). A governance trip reports the RunContext
+// status itself. fn must still write only to caller-owned, index-addressed
+// state; with num_threads <= 1 runs inline on the caller's thread.
+Status TryParallelFor(size_t num_threads, size_t n, const RunContext& ctx,
+                      const std::function<Status(size_t)>& fn);
 
 // Ordered result collection: results[i] = fn(i), computed in parallel but
 // returned in index order regardless of scheduling. T must be

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 
 #include "faers/generator.h"
@@ -281,6 +283,100 @@ TEST(CorruptorTest, RequestingTooManyFaultsFailsCleanly) {
   auto corrupted = Corruptor(config).Corrupt(clean, 2014, 1);
   ASSERT_FALSE(corrupted.ok());
   EXPECT_TRUE(corrupted.status().IsInvalidArgument());
+}
+
+// --- Torn-file primitives (shared with the checkpoint crash harness) ------
+
+TEST(TornFileTest, TearIsDeterministicPerSeed) {
+  QuarterDataset dataset = GenerateQuarter(23, 60);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  auto first = TearFileMidRecord(clean.demo, 7);
+  auto second = TearFileMidRecord(clean.demo, 7);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->offset, second->offset);
+  EXPECT_EQ(first->content, second->content);
+  auto other = TearFileMidRecord(clean.demo, 8);
+  ASSERT_TRUE(other.ok());
+  // Different seeds may collide on one file, but the tear must depend on
+  // the seed, not only on the content.
+  bool diverged = false;
+  for (uint64_t seed = 8; seed < 16 && !diverged; ++seed) {
+    auto torn = TearFileMidRecord(clean.demo, seed);
+    ASSERT_TRUE(torn.ok());
+    diverged = torn->offset != first->offset;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(TornFileTest, CutLandsStrictlyInsideADataRow) {
+  QuarterDataset dataset = GenerateQuarter(29, 60);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto torn = TearFileMidRecord(clean.demo, seed);
+    ASSERT_TRUE(torn.ok()) << seed;
+    // The surviving prefix is a strict prefix of the original...
+    ASSERT_LT(torn->offset, clean.demo.size()) << seed;
+    EXPECT_EQ(torn->content, clean.demo.substr(0, torn->offset)) << seed;
+    // ...whose final line is a non-empty fragment of a data row: the cut
+    // never lands exactly on a line boundary and never in the header.
+    EXPECT_NE(torn->content.back(), '\n') << seed;
+    EXPECT_GT(torn->first_lost_line, 1u) << seed;
+    EXPECT_NE(torn->damaged_primary_id, 0u) << seed;
+  }
+}
+
+TEST(TornFileTest, TornQuarterStillIngestsPermissively) {
+  QuarterDataset dataset = GenerateQuarter(31, 80);
+  AsciiQuarterFiles clean = WriteQuarter(dataset);
+  auto torn = TearFileMidRecord(clean.drug, 5);
+  ASSERT_TRUE(torn.ok());
+  AsciiQuarterFiles damaged = clean;
+  damaged.drug = torn->content;
+  EXPECT_FALSE(ReadAsciiQuarter(damaged, 2014, 1).ok())
+      << "a torn table must fail strict ingestion";
+  IngestReport report;
+  auto permissive = ReadAsciiQuarter(
+      damaged, 2014, 1, PolicyOptions(IngestPolicy::kPermissive), &report);
+  ASSERT_TRUE(permissive.ok()) << permissive.status().ToString();
+  EXPECT_GT(report.rows_rejected, 0u);
+}
+
+TEST(TornFileTest, ContentWithoutDataRowsIsRejected) {
+  EXPECT_TRUE(TearFileMidRecord("", 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      TearFileMidRecord("primaryid$caseid\n", 1).status().IsInvalidArgument());
+}
+
+TEST(TruncateFileAtTest, TruncatesToExactOffset) {
+  std::string path = ::testing::TempDir() + "/maras_truncate_test.txt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "0123456789";
+  }
+  ASSERT_TRUE(TruncateFileAt(path, 4).ok());
+  EXPECT_EQ(std::filesystem::file_size(path), 4u);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>{});
+  EXPECT_EQ(bytes, "0123");
+  std::filesystem::remove(path);
+}
+
+TEST(TruncateFileAtTest, OffsetPastEndIsInvalidArgument) {
+  std::string path = ::testing::TempDir() + "/maras_truncate_short.txt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "abc";
+  }
+  auto status = TruncateFileAt(path, 99);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find(path), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(TruncateFileAtTest, MissingFileIsAnError) {
+  EXPECT_FALSE(
+      TruncateFileAt(::testing::TempDir() + "/maras_no_such_file", 0).ok());
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "core/analyzer.h"
 #include "core/export.h"
@@ -14,6 +16,7 @@
 #include "faers/preprocess.h"
 #include "mining/closed_itemsets.h"
 #include "mining/fpgrowth.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace maras {
@@ -249,6 +252,156 @@ TEST(ConcurrencyRobustnessTest, ParallelForWritesEverySlotOnce) {
   size_t total = 0;
   for (uint8_t h : hits) total += h;
   EXPECT_EQ(total, n);
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance under a pathological mine. min_support = 2 with no
+// size cap on a dense corpus is the paper's own worst case (Section 1.3
+// mines at very low support): ungoverned it explodes combinatorially. A
+// governed mine must stop with the right code — promptly, without hanging
+// or exhausting the machine.
+// ---------------------------------------------------------------------------
+
+// Every transaction shares 40 items, so every one of the 2^40 subsets is
+// frequent at min_support = 2: an ungoverned unbounded mine of this database
+// cannot finish. The governed one must trip instead of hanging or OOMing.
+mining::TransactionDatabase ExplosiveDatabase() {
+  mining::TransactionDatabase db;
+  for (size_t t = 0; t < 200; ++t) {
+    mining::Itemset items;
+    for (mining::ItemId i = 0; i < 40; ++i) items.push_back(i);
+    items.push_back(static_cast<mining::ItemId>(40 + (t % 20)));
+    db.Add(items);
+  }
+  return db;
+}
+
+mining::MiningOptions Pathological(const RunContext* ctx,
+                                   size_t num_threads) {
+  mining::MiningOptions options;
+  options.min_support = 2;
+  options.max_itemset_size = 0;  // unbounded
+  options.num_threads = num_threads;
+  options.context = ctx;
+  return options;
+}
+
+TEST(GovernanceRobustnessTest, DeadlineTripsWithinTwiceTheAllottedTime) {
+  mining::TransactionDatabase db = ExplosiveDatabase();
+  for (size_t threads : {1u, 8u}) {
+    RunContext ctx;
+    constexpr int64_t kDeadlineMs = 500;
+    ctx.deadline = Deadline::AfterMillis(kDeadlineMs);
+    auto start = std::chrono::steady_clock::now();
+    auto mined = mining::FpGrowth(Pathological(&ctx, threads)).Mine(db);
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    ASSERT_FALSE(mined.ok())
+        << threads << " threads: the explosive mine finished?!";
+    ASSERT_TRUE(mined.status().IsDeadlineExceeded())
+        << mined.status().ToString();
+    // The poll interval bounds overshoot: well within 2x the deadline.
+    EXPECT_LT(elapsed, 2 * kDeadlineMs) << threads << " threads";
+    // Provenance names the stage that tripped.
+    EXPECT_NE(mined.status().ToString().find("fp-growth"), std::string::npos)
+        << mined.status().ToString();
+  }
+}
+
+TEST(GovernanceRobustnessTest, MemoryBudgetTripsAsResourceExhausted) {
+  mining::TransactionDatabase db = ExplosiveDatabase();
+  for (size_t threads : {1u, 8u}) {
+    MemoryBudget budget(1 << 20);  // 1 MiB: far below the explosion
+    RunContext ctx;
+    ctx.budget = &budget;
+    auto mined = mining::FpGrowth(Pathological(&ctx, threads)).Mine(db);
+    ASSERT_TRUE(mined.status().IsResourceExhausted())
+        << threads << " threads: " << mined.status().ToString();
+    EXPECT_NE(mined.status().ToString().find("memory budget"),
+              std::string::npos)
+        << mined.status().ToString();
+    // The failed mine released its charges, so the budget is reusable.
+    EXPECT_FALSE(budget.Exhausted());
+    EXPECT_GT(budget.peak(), 0u);
+  }
+}
+
+TEST(GovernanceRobustnessTest, ExternalCancellationStopsTheMine) {
+  mining::TransactionDatabase db = ExplosiveDatabase();
+  CancellationToken token;
+  RunContext ctx;
+  ctx.cancel = &token;
+  std::thread watchdog([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  auto mined = mining::FpGrowth(Pathological(&ctx, 4)).Mine(db);
+  watchdog.join();
+  ASSERT_TRUE(mined.status().IsCancelled()) << mined.status().ToString();
+}
+
+// Item i appears in transaction t iff t % i == 0, so supp(S) = N / lcm(S):
+// escalating min_support genuinely shrinks the family, giving the
+// degradation ladder something to converge on (unlike ExplosiveDatabase,
+// where every subset has the same support).
+mining::TransactionDatabase GradedDatabase() {
+  mining::TransactionDatabase db;
+  for (size_t t = 1; t <= 2000; ++t) {
+    mining::Itemset items;
+    for (mining::ItemId i = 2; i <= 40; ++i) {
+      if (t % i == 0) items.push_back(i);
+    }
+    if (!items.empty()) db.Add(items);
+  }
+  return db;
+}
+
+TEST(GovernanceRobustnessTest, DegradationLadderYieldsTruncatedResult) {
+  mining::TransactionDatabase db = GradedDatabase();
+  MemoryBudget budget(1 << 16);  // ~a few hundred itemsets
+  RunContext ctx;
+  ctx.budget = &budget;
+  core::DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.max_retries = 10;
+  degradation.support_factor = 4.0;
+  auto mined =
+      core::MineWithDegradation(db, Pathological(&ctx, 1), degradation);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  EXPECT_TRUE(mined->truncated);
+  EXPECT_GT(mined->min_support_used, 2u);
+  ASSERT_FALSE(mined->notes.empty());
+  EXPECT_NE(mined->notes[0].find("memory budget exhausted"),
+            std::string::npos)
+      << mined->notes[0];
+  EXPECT_GT(mined->frequent.size(), 0u)
+      << "the degraded mine must still produce the high-support family";
+}
+
+TEST(GovernanceRobustnessTest, DegradationNeverRetriesDeadlineTrips) {
+  mining::TransactionDatabase db = ExplosiveDatabase();
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterMillis(200);
+  core::DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.max_retries = 10;
+  auto mined =
+      core::MineWithDegradation(db, Pathological(&ctx, 1), degradation);
+  ASSERT_TRUE(mined.status().IsDeadlineExceeded())
+      << mined.status().ToString();
+}
+
+TEST(GovernanceRobustnessTest, UngovernedBoundedMineStillSucceeds) {
+  // Governance is opt-in: the explosive database with a size cap and no
+  // context mines fine.
+  mining::TransactionDatabase db = ExplosiveDatabase();
+  mining::MiningOptions options;
+  options.min_support = 20;
+  options.max_itemset_size = 2;
+  auto mined = mining::FpGrowth(options).Mine(db);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  EXPECT_GT(mined->size(), 0u);
 }
 
 }  // namespace

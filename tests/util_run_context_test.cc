@@ -1,0 +1,163 @@
+#include "util/run_context.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace maras {
+namespace {
+
+TEST(CancellationTokenTest, StartsUncancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CancelIsSticky) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline deadline = Deadline::Infinite();
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, DefaultConstructedIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline deadline = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.Remaining().count(), 0);
+}
+
+TEST(DeadlineTest, ZeroDeadlineExpiresImmediately) {
+  Deadline deadline = Deadline::AfterMillis(0);
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_LE(deadline.Remaining().count(), 0);
+}
+
+TEST(DeadlineTest, RemembersConfiguredDelay) {
+  Deadline deadline = Deadline::AfterMillis(1234);
+  EXPECT_EQ(deadline.configured().count(), 1234);
+}
+
+TEST(MemoryBudgetTest, UnlimitedNeverExhausts) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.TryCharge(1ull << 40));
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.used(), 1ull << 40);
+}
+
+TEST(MemoryBudgetTest, ChargeUpToLimit) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryCharge(60));
+  EXPECT_TRUE(budget.TryCharge(40));
+  EXPECT_EQ(budget.used(), 100u);
+  EXPECT_FALSE(budget.TryCharge(1));
+  EXPECT_EQ(budget.used(), 100u) << "rejected charge must not be applied";
+}
+
+TEST(MemoryBudgetTest, ReleaseMakesRoom) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.TryCharge(100));
+  budget.Release(30);
+  EXPECT_EQ(budget.used(), 70u);
+  EXPECT_TRUE(budget.TryCharge(30));
+}
+
+TEST(MemoryBudgetTest, PeakTracksHighWaterMark) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.TryCharge(800));
+  budget.Release(700);
+  ASSERT_TRUE(budget.TryCharge(100));
+  EXPECT_EQ(budget.peak(), 800u);
+  EXPECT_EQ(budget.used(), 200u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverOvershoot) {
+  constexpr size_t kLimit = 10'000;
+  MemoryBudget budget(kLimit);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> accepted{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget, &accepted] {
+      for (int i = 0; i < 10'000; ++i) {
+        if (budget.TryCharge(7)) accepted.fetch_add(7);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(budget.used(), accepted.load());
+  EXPECT_LE(budget.used(), kLimit);
+  EXPECT_LE(budget.peak(), kLimit);
+}
+
+TEST(RunContextTest, UngovernedAlwaysOk) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.governed());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.Charge(1ull << 40).ok());
+}
+
+TEST(RunContextTest, CancellationWins) {
+  CancellationToken token;
+  MemoryBudget budget(1);
+  RunContext ctx;
+  ctx.cancel = &token;
+  ctx.deadline = Deadline::AfterMillis(0);
+  ctx.budget = &budget;
+  ASSERT_TRUE(budget.TryCharge(2) == false);  // exhaust attempt rejected
+  ASSERT_TRUE(budget.TryCharge(1));
+  token.Cancel();
+  maras::Status status = ctx.Check();
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
+TEST(RunContextTest, DeadlineReportsConfiguredMillis) {
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterMillis(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  maras::Status status = ctx.Check();
+  ASSERT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_NE(status.ToString().find("5ms"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RunContextTest, BudgetExhaustionSurfacesAsResourceExhausted) {
+  MemoryBudget budget(10);
+  RunContext ctx;
+  ctx.budget = &budget;
+  EXPECT_TRUE(ctx.Check().ok());
+  maras::Status charge = ctx.Charge(11);
+  EXPECT_TRUE(charge.IsResourceExhausted()) << charge.ToString();
+  ASSERT_TRUE(ctx.Charge(10).ok());
+  maras::Status status = ctx.Check();
+  EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+}
+
+TEST(RunContextTest, GovernedDetection) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.governed());
+  ctx.deadline = Deadline::AfterMillis(1000);
+  EXPECT_TRUE(ctx.governed());
+}
+
+}  // namespace
+}  // namespace maras

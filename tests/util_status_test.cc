@@ -30,6 +30,30 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, GovernanceCodesAreDistinctAndNamed) {
+  Status cancelled = Status::Cancelled("run cancelled");
+  Status deadline = Status::DeadlineExceeded("deadline of 5ms exceeded");
+  Status budget = Status::ResourceExhausted("memory budget exhausted");
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_FALSE(budget.IsCancelled());
+  EXPECT_NE(cancelled.ToString().find("Cancelled"), std::string::npos);
+  EXPECT_NE(deadline.ToString().find("DeadlineExceeded"), std::string::npos);
+  EXPECT_NE(budget.ToString().find("ResourceExhausted"), std::string::npos);
+}
+
+TEST(StatusTest, GovernanceCodesSurviveWithContext) {
+  Status s = WithContext(Status::DeadlineExceeded("deadline of 500ms exceeded"),
+                         "fp-growth");
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_NE(s.ToString().find("fp-growth: deadline of 500ms exceeded"),
+            std::string::npos)
+      << s.ToString();
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

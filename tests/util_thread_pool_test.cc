@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/run_context.h"
+
 namespace maras {
 namespace {
 
@@ -142,6 +144,110 @@ TEST(ParallelForTest, ExceptionPropagatesWithoutDeadlock) {
                     if (i == 3) throw std::runtime_error("index 3");
                   }),
       std::runtime_error);
+}
+
+class TryParallelForThreadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TryParallelForThreadSweep, OkRunsEveryIndexOnce) {
+  const size_t n = 500;
+  RunContext ctx;
+  std::vector<int> hits(n, 0);
+  Status status = TryParallelFor(GetParam(), n, ctx, [&hits](size_t i) {
+    ++hits[i];
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST_P(TryParallelForThreadSweep, LoneFailureWinsAtAnyThreadCount) {
+  RunContext ctx;
+  Status status = TryParallelFor(GetParam(), 300, ctx, [](size_t i) {
+    if (i == 123) return Status::InvalidArgument("shard 123 failed");
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("shard 123"), std::string::npos);
+}
+
+TEST_P(TryParallelForThreadSweep, LowestObservedIndexPreferred) {
+  // Every index fails; the reported error must be the lowest-index failure
+  // actually observed. At any thread count index 0 is observed (it is
+  // scheduled first and workers record every failure they see), so the
+  // result is deterministic.
+  RunContext ctx;
+  Status status = TryParallelFor(GetParam(), 64, ctx, [](size_t i) {
+    return Status::Internal("index " + std::to_string(i));
+  });
+  ASSERT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.ToString().find("index 0"), std::string::npos)
+      << status.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TryParallelForThreadSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(TryParallelForTest, FailureStopsSchedulingRemainingIndices) {
+  std::atomic<size_t> executed{0};
+  RunContext ctx;
+  Status status = TryParallelFor(4, 100'000, ctx, [&executed](size_t i) {
+    executed.fetch_add(1);
+    if (i == 0) return Status::Internal("early failure");
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.IsInternal()) << status.ToString();
+  // The stop flag halts index hand-out: only indices already claimed when
+  // the failure landed may still run, far fewer than the full range.
+  EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(TryParallelForTest, CancellationStopsSchedulingMidRun) {
+  CancellationToken token;
+  RunContext ctx;
+  ctx.cancel = &token;
+  std::atomic<size_t> executed{0};
+  Status status = TryParallelFor(4, 100'000, ctx, [&](size_t i) {
+    if (i == 10) token.Cancel();  // a worker observes an external cancel
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.IsCancelled()) << status.ToString();
+  EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(TryParallelForTest, SerialPathStopsAtFirstFailureInOrder) {
+  RunContext ctx;
+  std::vector<size_t> ran;
+  Status status = TryParallelFor(1, 10, ctx, [&ran](size_t i) {
+    ran.push_back(i);
+    if (i == 3) return Status::NotFound("index 3");
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_EQ(ran, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(TryParallelForTest, DeadlineTripSurfacesAsDeadlineExceeded) {
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterMillis(0);  // already expired
+  std::atomic<size_t> executed{0};
+  Status status = TryParallelFor(4, 1000, ctx, [&executed](size_t) {
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_EQ(executed.load(), 0u) << "expired deadline must stop scheduling";
+}
+
+TEST(TryParallelForTest, EmptyRangeIsOkWithoutCallingFn) {
+  RunContext ctx;
+  bool called = false;
+  Status status = TryParallelFor(8, 0, ctx, [&called](size_t) {
+    called = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(called);
 }
 
 }  // namespace
