@@ -1,0 +1,103 @@
+// Counting replacements for the global allocation functions. Kept
+// deliberately simple: every variant funnels through one counted malloc and
+// one plain free, so sized/aligned/nothrow deletes all pair correctly.
+// Linked only into the microbench binaries (see bench/CMakeLists.txt).
+
+#include "bench/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align > alignof(std::max_align_t)) {
+    void* ptr = nullptr;
+    // posix_memalign-allocated memory is released with plain free().
+    if (posix_memalign(&ptr, align, size) != 0) return nullptr;
+    return ptr;
+  }
+  return std::malloc(size);
+}
+
+}  // namespace
+
+namespace maras::bench {
+
+AllocCounts CurrentAllocCounts() {
+  return AllocCounts{g_allocs.load(std::memory_order_relaxed),
+                     g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace maras::bench
+
+void* operator new(std::size_t size) {
+  void* ptr = CountedAlloc(size, 0);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = CountedAlloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}

@@ -1,0 +1,42 @@
+#ifndef MARAS_BENCH_ALLOC_COUNTER_H_
+#define MARAS_BENCH_ALLOC_COUNTER_H_
+
+// Process-wide heap-allocation counter for the mining micro-benchmarks.
+// Linking alloc_counter.cc into a binary replaces the global operator
+// new/delete family with counting wrappers (relaxed atomics over malloc), so
+// a benchmark can report allocations-per-iteration next to wall-clock — the
+// number the cache-compact mining core is meant to drive down. Only the
+// microbench targets link it; tests and the library proper keep the default
+// allocator.
+
+#include <cstddef>
+#include <cstdint>
+
+#include <benchmark/benchmark.h>
+
+namespace maras::bench {
+
+struct AllocCounts {
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+// Totals since process start. Monotone; never reset.
+AllocCounts CurrentAllocCounts();
+
+// Records the allocation delta since `since` as per-iteration benchmark
+// counters ("allocs" and "alloc_bytes"). Call after the timing loop.
+inline void SetAllocCounters(benchmark::State& state,
+                             const AllocCounts& since) {
+  const AllocCounts now = CurrentAllocCounts();
+  const double iters = static_cast<double>(
+      state.iterations() > 0 ? state.iterations() : 1);
+  state.counters["allocs"] =
+      static_cast<double>(now.allocs - since.allocs) / iters;
+  state.counters["alloc_bytes"] =
+      static_cast<double>(now.bytes - since.bytes) / iters;
+}
+
+}  // namespace maras::bench
+
+#endif  // MARAS_BENCH_ALLOC_COUNTER_H_

@@ -1,10 +1,15 @@
 // Micro-benchmarks for the mining substrate: Apriori vs. FP-Growth across
 // database sizes and support thresholds (the paper's Section 5.2 picks
 // FP-Growth for exactly this reason), closed-itemset filtering cost, and
-// tid-list support counting.
+// tid-list support counting. Every run lands in BENCH_mining.json
+// (wall-clock, allocations per iteration, peak RSS) so the perf trajectory
+// is diffable across PRs; `--smoke` runs a tiny fixture and fails on any
+// result-hash disagreement between the miners (the bench-smoke ctest gate).
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_counter.h"
+#include "bench/bench_json.h"
 #include "mining/apriori.h"
 #include "mining/closed_itemsets.h"
 #include "mining/eclat.h"
@@ -42,10 +47,12 @@ void BM_Apriori(benchmark::State& state) {
                         .max_itemset_size = 6};
   Apriori miner(options);
   size_t found = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto result = miner.Mine(db);
     benchmark::DoNotOptimize(found = result->size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["itemsets"] = static_cast<double>(found);
 }
 BENCHMARK(BM_Apriori)
@@ -61,10 +68,12 @@ void BM_FpGrowth(benchmark::State& state) {
                         .max_itemset_size = 6};
   FpGrowth miner(options);
   size_t found = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto result = miner.Mine(db);
     benchmark::DoNotOptimize(found = result->size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["itemsets"] = static_cast<double>(found);
 }
 BENCHMARK(BM_FpGrowth)
@@ -81,10 +90,12 @@ void BM_Eclat(benchmark::State& state) {
                         .max_itemset_size = 6};
   Eclat miner(options);
   size_t found = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto result = miner.Mine(db);
     benchmark::DoNotOptimize(found = result->size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["itemsets"] = static_cast<double>(found);
 }
 BENCHMARK(BM_Eclat)
@@ -100,10 +111,12 @@ void BM_ClosedFilter(benchmark::State& state) {
   MiningOptions options{.min_support = 5, .max_itemset_size = 6};
   auto all = FpGrowth(options).Mine(db);
   size_t closed_count = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     FrequentItemsetResult closed = FilterClosed(*all);
     benchmark::DoNotOptimize(closed_count = closed.size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["frequent"] = static_cast<double>(all->size());
   state.counters["closed"] = static_cast<double>(closed_count);
 }
@@ -115,10 +128,12 @@ void BM_MaximalFilter(benchmark::State& state) {
   MiningOptions options{.min_support = 5, .max_itemset_size = 6};
   auto all = FpGrowth(options).Mine(db);
   size_t maximal_count = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     FrequentItemsetResult maximal = FilterMaximal(*all);
     benchmark::DoNotOptimize(maximal_count = maximal.size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["frequent"] = static_cast<double>(all->size());
   state.counters["maximal"] = static_cast<double>(maximal_count);
 }
@@ -127,10 +142,12 @@ BENCHMARK(BM_MaximalFilter)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond)
 void BM_FpTreeBuild(benchmark::State& state) {
   TransactionDatabase db =
       MakeDb(static_cast<size_t>(state.range(0)), 400, 4.0, 7);
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto tree = FpTree::Build(db, 5);
-    benchmark::DoNotOptimize(tree->node_count());
+    benchmark::DoNotOptimize(tree.node_count());
   }
+  bench::SetAllocCounters(state, alloc0);
 }
 BENCHMARK(BM_FpTreeBuild)->Arg(1000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
@@ -150,8 +167,65 @@ void BM_TidListSupport(benchmark::State& state) {
     benchmark::DoNotOptimize(db.Support(queries[i++ % queries.size()]));
   }
 }
-BENCHMARK(BM_TidListSupport)->Arg(2)->Arg(3)->Arg(5);
+BENCHMARK(BM_TidListSupport)->Arg(2)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// Tiny fixed fixture, every miner, every thread count: any disagreement in
+// the canonical result hash is a correctness regression in the perf-tuned
+// paths. Runs in well under a second — cheap enough for every ctest pass.
+bool RunSmoke() {
+  TransactionDatabase db = MakeDb(600, 60, 3.0, 13);
+  MiningOptions base{.min_support = 3, .max_itemset_size = 5};
+  struct Case {
+    const char* name;
+    uint64_t hash;
+  };
+  std::vector<Case> cases;
+  for (size_t threads : {1u, 2u, 8u}) {
+    MiningOptions options = base;
+    options.num_threads = threads;
+    auto mined = FpGrowth(options).Mine(db);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "smoke: fp-growth failed: %s\n",
+                   mined.status().ToString().c_str());
+      return false;
+    }
+    cases.push_back({"fp-growth", bench::ResultHash(*mined)});
+  }
+  {
+    auto mined = Eclat(base).Mine(db);
+    if (!mined.ok()) return false;
+    cases.push_back({"eclat", bench::ResultHash(*mined)});
+  }
+  {
+    auto mined = Apriori(base).Mine(db);
+    if (!mined.ok()) return false;
+    cases.push_back({"apriori", bench::ResultHash(*mined)});
+  }
+  bool ok = true;
+  for (const Case& c : cases) {
+    std::printf("smoke: %-10s result-hash %016llx\n", c.name,
+                static_cast<unsigned long long>(c.hash));
+    if (c.hash != cases.front().hash) ok = false;
+  }
+  // Closed filter, serial vs sharded, on the fp-growth result.
+  auto all = FpGrowth(base).Mine(db);
+  const uint64_t closed1 = bench::ResultHash(FilterClosed(*all, 1));
+  const uint64_t closed4 = bench::ResultHash(FilterClosed(*all, 4));
+  std::printf("smoke: closed-1   result-hash %016llx\n",
+              static_cast<unsigned long long>(closed1));
+  std::printf("smoke: closed-4   result-hash %016llx\n",
+              static_cast<unsigned long long>(closed4));
+  if (closed1 != closed4) ok = false;
+  if (!ok) std::fprintf(stderr, "smoke: RESULT HASH MISMATCH\n");
+  return ok;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  maras::bench::BenchMainOptions options =
+      maras::bench::ParseBenchArgs(argc, argv, "BENCH_mining.json");
+  if (options.smoke) return RunSmoke() ? 0 : 1;
+  return maras::bench::RunBenchmarksToJson(std::move(options),
+                                           "bench_mining");
+}

@@ -4,10 +4,14 @@
 // trajectory records speedup vs thread count. The serial (Arg = 1)
 // measurements double as the regression baseline; every parallel
 // configuration produces byte-identical output (asserted by
-// mining_differential_test), so these runs compare cost only.
+// mining_differential_test and by `--smoke`), so these runs compare cost
+// only. Results land in BENCH_parallel_mining.json (wall-clock, allocations
+// per iteration, thread counts, peak RSS) for cross-PR diffing.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_counter.h"
+#include "bench/bench_json.h"
 #include "core/analyzer.h"
 #include "core/multi_quarter.h"
 #include "faers/generator.h"
@@ -47,10 +51,12 @@ void BM_ParallelFpGrowth(benchmark::State& state) {
                         .num_threads = static_cast<size_t>(state.range(0))};
   FpGrowth miner(options);
   size_t found = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto result = miner.Mine(db);
     benchmark::DoNotOptimize(found = result->size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["itemsets"] = static_cast<double>(found);
 }
@@ -68,10 +74,12 @@ void BM_ParallelMineClosed(benchmark::State& state) {
                         .max_itemset_size = 6,
                         .num_threads = static_cast<size_t>(state.range(0))};
   size_t closed_count = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto closed = MineClosed(db, options);
     benchmark::DoNotOptimize(closed_count = closed->size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["closed"] = static_cast<double>(closed_count);
 }
@@ -101,10 +109,12 @@ void BM_ParallelAnalyzer(benchmark::State& state) {
   options.mining.num_threads = static_cast<size_t>(state.range(0));
   core::MarasAnalyzer analyzer(options);
   size_t mcacs = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto analysis = analyzer.Analyze(*pre);
     benchmark::DoNotOptimize(mcacs = analysis->mcacs.size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["mcacs"] = static_cast<double>(mcacs);
 }
@@ -133,10 +143,12 @@ void BM_ParallelMultiQuarter(benchmark::State& state) {
   options.num_threads = static_cast<size_t>(state.range(0));
   core::MultiQuarterPipeline pipeline(options);
   size_t merged = 0;
+  const auto alloc0 = bench::CurrentAllocCounts();
   for (auto _ : state) {
     auto run = pipeline.Run(quarters);
     benchmark::DoNotOptimize(merged = run->merged.transactions.size());
   }
+  bench::SetAllocCounters(state, alloc0);
   state.counters["threads"] = static_cast<double>(state.range(0));
   state.counters["reports"] = static_cast<double>(merged);
 }
@@ -160,6 +172,46 @@ void BM_ParallelForOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->UseRealTime();
 
+// Tiny fixture, thread sweep: FP-Growth and the closed pipeline must hash
+// identically at every thread count (the determinism contract the parallel
+// engine is built on), in Release, on every ctest pass.
+bool RunSmoke() {
+  TransactionDatabase db = MakeDb(800, 80, 3.0, 29);
+  bool ok = true;
+  uint64_t first_fp = 0, first_closed = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    MiningOptions options{.min_support = 3,
+                          .max_itemset_size = 5,
+                          .num_threads = threads};
+    auto mined = FpGrowth(options).Mine(db);
+    auto closed = MineClosed(db, options);
+    if (!mined.ok() || !closed.ok()) {
+      std::fprintf(stderr, "smoke: mining failed at %zu threads\n", threads);
+      return false;
+    }
+    const uint64_t fp_hash = bench::ResultHash(*mined);
+    const uint64_t closed_hash = bench::ResultHash(*closed);
+    std::printf(
+        "smoke: threads=%zu fp-growth %016llx closed %016llx\n", threads,
+        static_cast<unsigned long long>(fp_hash),
+        static_cast<unsigned long long>(closed_hash));
+    if (threads == 1) {
+      first_fp = fp_hash;
+      first_closed = closed_hash;
+    } else if (fp_hash != first_fp || closed_hash != first_closed) {
+      ok = false;
+    }
+  }
+  if (!ok) std::fprintf(stderr, "smoke: RESULT HASH MISMATCH\n");
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  maras::bench::BenchMainOptions options = maras::bench::ParseBenchArgs(
+      argc, argv, "BENCH_parallel_mining.json");
+  if (options.smoke) return RunSmoke() ? 0 : 1;
+  return maras::bench::RunBenchmarksToJson(std::move(options),
+                                           "bench_parallel_mining");
+}

@@ -1,7 +1,6 @@
 #include "mining/closed_itemsets.h"
 
-#include <unordered_set>
-
+#include "mining/flat_table.h"
 #include "mining/fpgrowth.h"
 #include "util/run_context.h"
 #include "util/thread_pool.h"
@@ -37,13 +36,13 @@ FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
   // result by walking each itemset's immediate subsets.
   const std::vector<FrequentItemset>& itemsets = all.itemsets();
   const size_t workers = EffectiveThreads(num_threads, itemsets.size());
-  std::unordered_set<Itemset, ItemsetHash> not_closed;
+  ItemsetFlatSet not_closed;
   if (workers <= 1) {
     std::vector<Itemset> marks;
     for (const FrequentItemset& fi : itemsets) {
       MarkCoveredSubsets(all, fi, &marks);
     }
-    for (Itemset& s : marks) not_closed.insert(std::move(s));
+    for (Itemset& s : marks) not_closed.Insert(std::move(s));
   } else {
     // Shard w scans itemsets w, w+workers, ...; marks are unioned serially
     // afterwards (union is order-independent, so scheduling cannot leak
@@ -55,12 +54,12 @@ FrequentItemsetResult FilterClosed(const FrequentItemsetResult& all,
       }
     });
     for (std::vector<Itemset>& shard : shard_marks) {
-      for (Itemset& s : shard) not_closed.insert(std::move(s));
+      for (Itemset& s : shard) not_closed.Insert(std::move(s));
     }
   }
   FrequentItemsetResult closed;
   for (const FrequentItemset& fi : all.itemsets()) {
-    if (not_closed.count(fi.items) == 0) {
+    if (!not_closed.Contains(fi.items)) {
       closed.Add(fi.items, fi.support);
     }
   }
@@ -88,13 +87,13 @@ maras::StatusOr<FrequentItemsetResult> FilterClosed(
         return maras::Status::OK();
       });
   if (!status.ok()) return maras::WithContext(status, "closed-filter");
-  std::unordered_set<Itemset, ItemsetHash> not_closed;
+  ItemsetFlatSet not_closed;
   for (std::vector<Itemset>& shard : shard_marks) {
-    for (Itemset& s : shard) not_closed.insert(std::move(s));
+    for (Itemset& s : shard) not_closed.Insert(std::move(s));
   }
   FrequentItemsetResult closed;
   for (const FrequentItemset& fi : all.itemsets()) {
-    if (not_closed.count(fi.items) == 0) {
+    if (!not_closed.Contains(fi.items)) {
       closed.Add(fi.items, fi.support);
     }
   }

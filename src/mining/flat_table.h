@@ -1,0 +1,153 @@
+#ifndef MARAS_MINING_FLAT_TABLE_H_
+#define MARAS_MINING_FLAT_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace maras::mining {
+
+// Open-addressed hash index over caller-owned itemset keys. One flat slot
+// array of (hash, entry-index) pairs, linear probing, power-of-two capacity:
+// a lookup is one cache line touch in the common case, versus a pointer
+// chase per node in std::unordered_map. The caller stores the actual keys
+// (e.g. FrequentItemsetResult keeps them inside its itemset vector, so each
+// key exists exactly once in memory) and supplies a `key_at` accessor
+// mapping an entry index to its Itemset.
+//
+// Deletion is deliberately unsupported — the mining pipeline only ever
+// builds tables up and throws them away whole — which keeps probing
+// tombstone-free.
+class FlatItemsetIndex {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  // Pre-sizes the slot array for `entries` insertions (rounded up to the
+  // next power of two past the load-factor headroom).
+  void Reserve(size_t entries) {
+    size_t needed = SlotCountFor(entries);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  // Entry index holding a key equal to `key`, or kNotFound.
+  template <typename KeyAt>
+  uint32_t Find(const Itemset& key, const KeyAt& key_at) const {
+    if (slots_.empty()) return kNotFound;
+    const uint64_t hash = ItemsetHash{}(key);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots_[i];
+      if (slot.index == kNotFound) return kNotFound;
+      if (slot.hash == hash && key_at(slot.index) == key) return slot.index;
+    }
+  }
+
+  // Maps the key of entry `index` to `index`; an existing equal key is
+  // re-pointed at the new entry (last insert wins, matching map::operator[]
+  // assignment). Returns true when the key was new.
+  template <typename KeyAt>
+  bool InsertOrAssign(uint32_t index, const KeyAt& key_at) {
+    if (SlotCountFor(size_ + 1) > slots_.size()) {
+      Rehash(SlotCountFor(size_ + 1));
+    }
+    const Itemset& key = key_at(index);
+    const uint64_t hash = ItemsetHash{}(key);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.index == kNotFound) {
+        slot.hash = hash;
+        slot.index = index;
+        ++size_;
+        return true;
+      }
+      if (slot.hash == hash && key_at(slot.index) == key) {
+        slot.index = index;
+        return false;
+      }
+    }
+  }
+
+  // Resident bytes of the slot array (capacity-based).
+  size_t MemoryFootprint() const { return slots_.capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t index = kNotFound;  // kNotFound doubles as the empty marker
+  };
+
+  // Smallest power-of-two slot count keeping load factor under ~0.7.
+  static size_t SlotCountFor(size_t entries) {
+    size_t slots = 16;
+    while (slots * 7 < entries * 10) slots *= 2;
+    return slots;
+  }
+
+  void Rehash(size_t new_slot_count) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slot_count, Slot{});
+    const size_t mask = new_slot_count - 1;
+    // Keys in the table are unique, so re-placement needs no key compares —
+    // the stored hashes are enough.
+    for (const Slot& slot : old) {
+      if (slot.index == kNotFound) continue;
+      size_t i = slot.hash & mask;
+      while (slots_[i].index != kNotFound) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+// Flat set of itemsets over FlatItemsetIndex; owns its keys. Used by the
+// closed filter for the not-closed mark set, replacing
+// std::unordered_set<Itemset> (one node allocation per mark) with two flat
+// arrays.
+class ItemsetFlatSet {
+ public:
+  size_t size() const { return keys_.size(); }
+
+  void Reserve(size_t n) {
+    keys_.reserve(n);
+    index_.Reserve(n);
+  }
+
+  bool Contains(const Itemset& s) const {
+    return index_.Find(s, KeyAt{this}) != FlatItemsetIndex::kNotFound;
+  }
+
+  // Returns false (and drops `s`) when an equal itemset is already present.
+  bool Insert(Itemset s) {
+    if (Contains(s)) return false;
+    keys_.push_back(std::move(s));
+    index_.InsertOrAssign(static_cast<uint32_t>(keys_.size() - 1),
+                          KeyAt{this});
+    return true;
+  }
+
+ private:
+  struct KeyAt {
+    const ItemsetFlatSet* set;
+    const Itemset& operator()(uint32_t i) const { return set->keys_[i]; }
+  };
+
+  std::vector<Itemset> keys_;
+  FlatItemsetIndex index_;
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_FLAT_TABLE_H_

@@ -6,54 +6,130 @@
 
 namespace maras::mining {
 
-FpTree::Node* FpTree::NewNode(ItemId item, Node* parent) {
-  arena_.push_back(std::make_unique<Node>());
-  Node* node = arena_.back().get();
-  node->item = item;
-  node->parent = parent;
+FpTree::FpTree() {
+  // Root node at index 0.
+  item_.push_back(0);
+  count_.push_back(0);
+  parent_.push_back(kNoNode);
+  next_same_item_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
+}
+
+void FpTree::Clear() {
+  item_.resize(1);
+  count_.resize(1);
+  parent_.resize(1);
+  next_same_item_.resize(1);
+  first_child_.resize(1);
+  next_sibling_.resize(1);
+  count_[0] = 0;
+  first_child_[0] = kNoNode;
+  for (ItemId item : touched_items_) {
+    header_first_[item] = kNoNode;
+    header_last_[item] = kNoNode;
+    item_counts_[item] = 0;
+  }
+  touched_items_.clear();
+}
+
+void FpTree::ReserveNodes(size_t nodes) {
+  item_.reserve(nodes);
+  count_.reserve(nodes);
+  parent_.reserve(nodes);
+  next_same_item_.reserve(nodes);
+  first_child_.reserve(nodes);
+  next_sibling_.reserve(nodes);
+}
+
+void FpTree::ReserveItems(size_t item_bound) {
+  if (item_bound <= header_first_.size()) return;
+  header_first_.resize(item_bound, kNoNode);
+  header_last_.resize(item_bound, kNoNode);
+  item_counts_.resize(item_bound, 0);
+}
+
+void FpTree::EnsureItem(ItemId item) {
+  if (item >= header_first_.size()) {
+    ReserveItems(static_cast<size_t>(item) + 1);
+  }
+  if (header_first_[item] == kNoNode && item_counts_[item] == 0) {
+    touched_items_.push_back(item);
+  }
+}
+
+FpTree::NodeIndex FpTree::NewNode(ItemId item, NodeIndex parent) {
+  const NodeIndex node = static_cast<NodeIndex>(item_.size());
+  item_.push_back(item);
+  count_.push_back(0);
+  parent_.push_back(parent);
+  next_same_item_.push_back(kNoNode);
+  first_child_.push_back(kNoNode);
+  next_sibling_.push_back(kNoNode);
   return node;
 }
 
-FpTree::Node* FpTree::ChildFor(Node* node, ItemId item) {
-  auto it = std::lower_bound(
-      node->children.begin(), node->children.end(), item,
-      [](const Node* child, ItemId id) { return child->item < id; });
-  if (it != node->children.end() && (*it)->item == item) return *it;
-  Node* child = NewNode(item, node);
-  node->children.insert(it, child);
-  // Append to the header chain.
-  auto last_it = header_last_.find(item);
-  if (last_it == header_last_.end()) {
-    header_first_[item] = child;
-    header_last_[item] = child;
-  } else {
-    last_it->second->next_same_item = child;
-    last_it->second = child;
+FpTree::NodeIndex FpTree::ChildFor(NodeIndex node, ItemId item) {
+  NodeIndex child = first_child_[node];
+  NodeIndex last = kNoNode;
+  while (child != kNoNode) {
+    if (item_[child] == item) return child;
+    last = child;
+    child = next_sibling_[child];
   }
-  return child;
+  EnsureItem(item);
+  const NodeIndex fresh = NewNode(item, node);
+  if (last == kNoNode) {
+    first_child_[node] = fresh;
+  } else {
+    next_sibling_[last] = fresh;
+  }
+  // Append to the header chain.
+  if (header_last_[item] == kNoNode) {
+    header_first_[item] = fresh;
+  } else {
+    next_same_item_[header_last_[item]] = fresh;
+  }
+  header_last_[item] = fresh;
+  return fresh;
 }
 
 void FpTree::Insert(const std::vector<ItemId>& path, size_t count) {
-  Node* node = root_;
-  for (ItemId item : path) {
+  Insert(path.data(), path.size(), count);
+}
+
+void FpTree::Insert(const ItemId* path, size_t len, size_t count) {
+  NodeIndex node = 0;
+  const uint32_t delta = static_cast<uint32_t>(count);
+  for (size_t i = 0; i < len; ++i) {
+    const ItemId item = path[i];
     node = ChildFor(node, item);
-    node->count += count;
-    item_counts_[item] += count;
+    count_[node] += delta;
+    EnsureItem(item);
+    item_counts_[item] += delta;
   }
 }
 
-std::unique_ptr<FpTree> FpTree::Build(const TransactionDatabase& db,
-                                      size_t min_support) {
-  auto tree = std::make_unique<FpTree>();
-  // Global item supports.
-  std::unordered_map<ItemId, size_t> supports;
+FpTree FpTree::Build(const TransactionDatabase& db, size_t min_support) {
+  FpTree tree;
+  const size_t item_bound = db.item_bound();
+  // Global item supports, densely indexed.
+  std::vector<uint32_t> supports(item_bound, 0);
   for (const Itemset& t : db.transactions()) {
     for (ItemId item : t) ++supports[item];
   }
+  // Exact retained-occurrence count: every kept occurrence creates at most
+  // one node, so one bulk reservation covers the whole build.
+  size_t kept = 0;
+  for (uint32_t support : supports) {
+    if (support >= min_support) kept += support;
+  }
+  tree.ReserveItems(item_bound);
+  tree.ReserveNodes(kept + 1);
   // Per-transaction reorder: descending support, ties ascending id.
   auto order = [&supports](ItemId a, ItemId b) {
-    size_t sa = supports[a];
-    size_t sb = supports[b];
+    const uint32_t sa = supports[a];
+    const uint32_t sb = supports[b];
     if (sa != sb) return sa > sb;
     return a < b;
   };
@@ -65,39 +141,43 @@ std::unique_ptr<FpTree> FpTree::Build(const TransactionDatabase& db,
     }
     if (path.empty()) continue;
     std::sort(path.begin(), path.end(), order);
-    tree->Insert(path, 1);
+    tree.Insert(path, 1);
   }
   return tree;
 }
 
 std::vector<ItemId> FpTree::ItemsBySupportAscending() const {
   std::vector<ItemId> items;
-  items.reserve(item_counts_.size());
-  for (const auto& [item, count] : item_counts_) items.push_back(item);
-  std::sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
-    size_t sa = item_counts_.at(a);
-    size_t sb = item_counts_.at(b);
-    if (sa != sb) return sa < sb;
-    return a > b;
-  });
+  ItemsBySupportAscending(&items);
   return items;
 }
 
-size_t FpTree::ItemCount(ItemId item) const {
-  auto it = item_counts_.find(item);
-  return it == item_counts_.end() ? 0 : it->second;
+void FpTree::ItemsBySupportAscending(std::vector<ItemId>* out) const {
+  out->clear();
+  for (ItemId item : touched_items_) {
+    if (item_counts_[item] > 0) out->push_back(item);
+  }
+  std::sort(out->begin(), out->end(), [this](ItemId a, ItemId b) {
+    const uint32_t sa = item_counts_[a];
+    const uint32_t sb = item_counts_[b];
+    if (sa != sb) return sa < sb;
+    return a > b;
+  });
 }
 
-const FpTree::Node* FpTree::HeaderChain(ItemId item) const {
-  auto it = header_first_.find(item);
-  return it == header_first_.end() ? nullptr : it->second;
+size_t FpTree::ItemCount(ItemId item) const {
+  return item < item_counts_.size() ? item_counts_[item] : 0;
+}
+
+FpTree::NodeIndex FpTree::HeaderChain(ItemId item) const {
+  return item < header_first_.size() ? header_first_[item] : kNoNode;
 }
 
 bool FpTree::IsSinglePath() const {
-  const Node* node = root_;
-  while (!node->children.empty()) {
-    if (node->children.size() > 1) return false;
-    node = node->children.front();
+  NodeIndex node = 0;
+  while (first_child_[node] != kNoNode) {
+    node = first_child_[node];
+    if (next_sibling_[node] != kNoNode) return false;
   }
   return true;
 }
@@ -105,24 +185,36 @@ bool FpTree::IsSinglePath() const {
 std::vector<std::pair<ItemId, size_t>> FpTree::SinglePathItems() const {
   MARAS_CHECK(IsSinglePath()) << "tree is not a single path";
   std::vector<std::pair<ItemId, size_t>> items;
-  const Node* node = root_;
-  while (!node->children.empty()) {
-    node = node->children.front();
-    items.emplace_back(node->item, node->count);
+  NodeIndex node = 0;
+  while (first_child_[node] != kNoNode) {
+    node = first_child_[node];
+    items.emplace_back(item_[node], count_[node]);
   }
   return items;
+}
+
+size_t FpTree::MemoryFootprint() const {
+  return item_.capacity() * sizeof(ItemId) +
+         count_.capacity() * sizeof(uint32_t) +
+         parent_.capacity() * sizeof(NodeIndex) +
+         next_same_item_.capacity() * sizeof(NodeIndex) +
+         first_child_.capacity() * sizeof(NodeIndex) +
+         next_sibling_.capacity() * sizeof(NodeIndex) +
+         header_first_.capacity() * sizeof(NodeIndex) +
+         header_last_.capacity() * sizeof(NodeIndex) +
+         item_counts_.capacity() * sizeof(uint32_t) +
+         touched_items_.capacity() * sizeof(ItemId);
 }
 
 std::vector<FpTree::PrefixPath> FpTree::ConditionalPatternBase(
     ItemId item) const {
   std::vector<PrefixPath> base;
-  for (const Node* node = HeaderChain(item); node != nullptr;
-       node = node->next_same_item) {
+  for (NodeIndex node = HeaderChain(item); node != kNoNode;
+       node = next_same_item_[node]) {
     PrefixPath path;
-    path.count = node->count;
-    for (const Node* up = node->parent; up != nullptr && up->parent != nullptr;
-         up = up->parent) {
-      path.items.push_back(up->item);
+    path.count = count_[node];
+    for (NodeIndex up = parent_[node]; up != 0; up = parent_[up]) {
+      path.items.push_back(item_[up]);
     }
     std::reverse(path.items.begin(), path.items.end());
     if (!path.items.empty()) base.push_back(std::move(path));

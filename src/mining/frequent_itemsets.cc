@@ -5,17 +5,18 @@
 namespace maras::mining {
 
 void FrequentItemsetResult::Add(Itemset items, size_t support) {
-  support_[items] = support;
   itemsets_.push_back(FrequentItemset{std::move(items), support});
+  index_.InsertOrAssign(static_cast<uint32_t>(itemsets_.size() - 1),
+                        KeyAt{this});
 }
 
 size_t FrequentItemsetResult::SupportOf(const Itemset& s) const {
-  auto it = support_.find(s);
-  return it == support_.end() ? 0 : it->second;
+  const uint32_t i = index_.Find(s, KeyAt{this});
+  return i == FlatItemsetIndex::kNotFound ? 0 : itemsets_[i].support;
 }
 
 bool FrequentItemsetResult::ContainsItemset(const Itemset& s) const {
-  return support_.count(s) > 0;
+  return index_.Find(s, KeyAt{this}) != FlatItemsetIndex::kNotFound;
 }
 
 void FrequentItemsetResult::SortCanonically() {
@@ -24,16 +25,24 @@ void FrequentItemsetResult::SortCanonically() {
               if (a.items != b.items) return a.items < b.items;
               return a.support < b.support;
             });
+  // Sorting renumbers every entry, so the index is rebuilt from scratch.
+  index_.Clear();
+  index_.Reserve(itemsets_.size());
+  for (size_t i = 0; i < itemsets_.size(); ++i) {
+    index_.InsertOrAssign(static_cast<uint32_t>(i), KeyAt{this});
+  }
 }
 
 void FrequentItemsetResult::Absorb(FrequentItemsetResult&& other) {
   itemsets_.reserve(itemsets_.size() + other.itemsets_.size());
+  index_.Reserve(itemsets_.size() + other.itemsets_.size());
   for (FrequentItemset& fi : other.itemsets_) {
-    support_[fi.items] = fi.support;
     itemsets_.push_back(std::move(fi));
+    index_.InsertOrAssign(static_cast<uint32_t>(itemsets_.size() - 1),
+                          KeyAt{this});
   }
   other.itemsets_.clear();
-  other.support_.clear();
+  other.index_.Clear();
 }
 
 }  // namespace maras::mining

@@ -2,9 +2,9 @@
 #define MARAS_MINING_FREQUENT_ITEMSETS_H_
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
+#include "mining/flat_table.h"
 #include "mining/itemset.h"
 
 namespace maras {
@@ -21,6 +21,9 @@ struct FrequentItemset {
 
 // The full result of a frequent-itemset mining pass: the itemsets plus a
 // support lookup table (used by rule generation and closedness checks).
+// The lookup is a flat open-addressed index into the itemset vector itself,
+// so each mined itemset exists exactly once in memory and a support probe
+// touches one slot array instead of chasing unordered_map nodes.
 class FrequentItemsetResult {
  public:
   FrequentItemsetResult() = default;
@@ -48,8 +51,15 @@ class FrequentItemsetResult {
   void Absorb(FrequentItemsetResult&& other);
 
  private:
+  struct KeyAt {
+    const FrequentItemsetResult* result;
+    const Itemset& operator()(uint32_t i) const {
+      return result->itemsets_[i].items;
+    }
+  };
+
   std::vector<FrequentItemset> itemsets_;
-  std::unordered_map<Itemset, size_t, ItemsetHash> support_;
+  FlatItemsetIndex index_;  // entry i -> itemsets_[i].items
 };
 
 // Mining algorithm knobs shared by Apriori and FP-Growth.

@@ -42,21 +42,6 @@ bool Contains(const Itemset& a, ItemId item) {
   return std::binary_search(a.begin(), a.end(), item);
 }
 
-void ForEachProperSubset(const Itemset& s,
-                         const std::function<void(const Itemset&)>& fn) {
-  MARAS_CHECK(s.size() <= 20) << "subset enumeration limited to 20 items";
-  const uint32_t n = static_cast<uint32_t>(s.size());
-  const uint32_t full = (n >= 1) ? ((1u << n) - 1) : 0;
-  Itemset subset;
-  for (uint32_t mask = 1; mask < full; ++mask) {
-    subset.clear();
-    for (uint32_t i = 0; i < n; ++i) {
-      if (mask & (1u << i)) subset.push_back(s[i]);
-    }
-    fn(subset);
-  }
-}
-
 std::string ToString(const Itemset& s) {
   std::string out = "{";
   for (size_t i = 0; i < s.size(); ++i) {

@@ -2,9 +2,10 @@
 #define MARAS_MINING_ITEMSET_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace maras::mining {
 
@@ -30,9 +31,25 @@ Itemset Difference(const Itemset& a, const Itemset& b);
 bool Contains(const Itemset& a, ItemId item);
 
 // Enumerates every proper, non-empty subset of `s` (2^|s| − 2 of them) and
-// invokes `fn` on each. |s| must be <= 20 to keep enumeration sane.
-void ForEachProperSubset(const Itemset& s,
-                         const std::function<void(const Itemset&)>& fn);
+// invokes `fn(const Itemset&)` on each. |s| must be <= 20 to keep
+// enumeration sane. A template on the callable (not std::function) so the
+// per-subset call inlines, and one scratch buffer serves every subset — the
+// enumeration itself allocates at most once.
+template <typename Fn>
+void ForEachProperSubset(const Itemset& s, Fn&& fn) {
+  MARAS_CHECK(s.size() <= 20) << "subset enumeration limited to 20 items";
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  const uint32_t full = (n >= 1) ? ((1u << n) - 1) : 0;
+  Itemset subset;
+  subset.reserve(s.size());
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    subset.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(s[i]);
+    }
+    fn(subset);
+  }
+}
 
 // FNV-1a hash over the id sequence, usable as an unordered_map key hasher.
 struct ItemsetHash {

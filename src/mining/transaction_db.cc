@@ -11,7 +11,11 @@ TransactionId TransactionDatabase::Add(Itemset transaction) {
   TransactionId tid = static_cast<TransactionId>(transactions_.size());
   for (ItemId item : t) {
     tidlists_[item].push_back(tid);  // tids are appended in order
+    if (static_cast<size_t>(item) + 1 > item_bound_) {
+      item_bound_ = static_cast<size_t>(item) + 1;
+    }
   }
+  total_item_occurrences_ += t.size();
   transactions_.push_back(std::move(t));
   return tid;
 }

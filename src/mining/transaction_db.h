@@ -35,6 +35,15 @@ class TransactionDatabase {
   // Number of distinct items seen.
   size_t item_count() const { return tidlists_.size(); }
 
+  // One past the largest ItemId seen (0 when empty). Sizes the dense,
+  // ItemId-indexed tables the mining engine uses (FP-tree headers and
+  // conditional counts) without a scan.
+  size_t item_bound() const { return item_bound_; }
+
+  // Total item occurrences across all transactions (Σ |t|). Upper-bounds
+  // FP-tree node counts, so a build can bulk-reserve its arena.
+  size_t total_item_occurrences() const { return total_item_occurrences_; }
+
   // Support (number of containing transactions) of an itemset. Empty itemset
   // has support == size().
   size_t Support(const Itemset& s) const;
@@ -51,6 +60,8 @@ class TransactionDatabase {
  private:
   std::vector<Itemset> transactions_;
   std::unordered_map<ItemId, std::vector<TransactionId>> tidlists_;
+  size_t item_bound_ = 0;
+  size_t total_item_occurrences_ = 0;
   static const std::vector<TransactionId> kEmptyTidList;
 };
 

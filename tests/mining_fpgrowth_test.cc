@@ -29,9 +29,9 @@ TEST(FpTreeTest, BuildCountsItems) {
   db.Add({1, 2, 3});
   db.Add({1});
   auto tree = FpTree::Build(db, 1);
-  EXPECT_EQ(tree->ItemCount(1), 3u);
-  EXPECT_EQ(tree->ItemCount(2), 2u);
-  EXPECT_EQ(tree->ItemCount(3), 1u);
+  EXPECT_EQ(tree.ItemCount(1), 3u);
+  EXPECT_EQ(tree.ItemCount(2), 2u);
+  EXPECT_EQ(tree.ItemCount(3), 1u);
 }
 
 TEST(FpTreeTest, InfrequentItemsExcluded) {
@@ -39,9 +39,9 @@ TEST(FpTreeTest, InfrequentItemsExcluded) {
   db.Add({1, 2});
   db.Add({1, 3});
   auto tree = FpTree::Build(db, 2);
-  EXPECT_EQ(tree->ItemCount(1), 2u);
-  EXPECT_EQ(tree->ItemCount(2), 0u);
-  EXPECT_EQ(tree->ItemCount(3), 0u);
+  EXPECT_EQ(tree.ItemCount(1), 2u);
+  EXPECT_EQ(tree.ItemCount(2), 0u);
+  EXPECT_EQ(tree.ItemCount(3), 0u);
 }
 
 TEST(FpTreeTest, PrefixSharingCompressesNodes) {
@@ -49,8 +49,8 @@ TEST(FpTreeTest, PrefixSharingCompressesNodes) {
   for (int i = 0; i < 10; ++i) db.Add({1, 2, 3});
   auto tree = FpTree::Build(db, 1);
   // Root + one node per item: identical transactions share one path.
-  EXPECT_EQ(tree->node_count(), 4u);
-  EXPECT_TRUE(tree->IsSinglePath());
+  EXPECT_EQ(tree.node_count(), 4u);
+  EXPECT_TRUE(tree.IsSinglePath());
 }
 
 TEST(FpTreeTest, SinglePathDetection) {
@@ -58,7 +58,7 @@ TEST(FpTreeTest, SinglePathDetection) {
   db.Add({1, 2});
   db.Add({1, 3});
   auto tree = FpTree::Build(db, 1);
-  EXPECT_FALSE(tree->IsSinglePath());
+  EXPECT_FALSE(tree.IsSinglePath());
 }
 
 TEST(FpTreeTest, SinglePathItemsInOrder) {
@@ -67,8 +67,8 @@ TEST(FpTreeTest, SinglePathItemsInOrder) {
   db.Add({1, 2});
   db.Add({1});
   auto tree = FpTree::Build(db, 1);
-  ASSERT_TRUE(tree->IsSinglePath());
-  auto items = tree->SinglePathItems();
+  ASSERT_TRUE(tree.IsSinglePath());
+  auto items = tree.SinglePathItems();
   ASSERT_EQ(items.size(), 3u);
   EXPECT_EQ(items[0], (std::pair<ItemId, size_t>{1, 3}));
   EXPECT_EQ(items[1], (std::pair<ItemId, size_t>{2, 2}));
@@ -83,8 +83,8 @@ TEST(FpTreeTest, ConditionalPatternBase) {
   auto tree = FpTree::Build(db, 1);
   // Paths are frequency-ordered: item 3 (support 3) sits at the top, so its
   // pattern base is empty; item 2 (support 2, highest id) is deepest.
-  EXPECT_TRUE(tree->ConditionalPatternBase(3).empty());
-  auto base = tree->ConditionalPatternBase(2);
+  EXPECT_TRUE(tree.ConditionalPatternBase(3).empty());
+  auto base = tree.ConditionalPatternBase(2);
   ASSERT_EQ(base.size(), 2u);
   size_t total = 0;
   for (const auto& path : base) {
@@ -101,9 +101,9 @@ TEST(FpTreeTest, HeaderChainCoversAllOccurrences) {
   db.Add({2});
   auto tree = FpTree::Build(db, 1);
   size_t chain_total = 0;
-  for (const FpTree::Node* node = tree->HeaderChain(2); node != nullptr;
-       node = node->next_same_item) {
-    chain_total += node->count;
+  for (FpTree::NodeIndex node = tree.HeaderChain(2); node != FpTree::kNoNode;
+       node = tree.next_same_item(node)) {
+    chain_total += tree.count(node);
   }
   EXPECT_EQ(chain_total, 3u);
 }
