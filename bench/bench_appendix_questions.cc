@@ -35,9 +35,13 @@ SvgDocument QuestionSheet(const std::vector<SvgDocument>& panels,
     SvgDocument::TextStyle label;
     label.font_size = 12.0;
     label.anchor = "middle";
-    sheet.Text(x + panel_w / 2.0, panel_h + caption + 28.0,
-               "(" + std::string(1, static_cast<char>('a' + i)) + ")",
-               label);
+    // Piecewise build: GCC 12's -Wrestrict false-positives (PR105651) on the
+    // inlined operator+ temporary chain.
+    std::string tag;
+    tag += '(';
+    tag += static_cast<char>('a' + i);
+    tag += ')';
+    sheet.Text(x + panel_w / 2.0, panel_h + caption + 28.0, tag, label);
   }
   return sheet;
 }

@@ -99,13 +99,20 @@ maras::StatusOr<std::string> GenerateMarkdownReport(
     }
     md += "---|\n";
     for (const WatchlistEntry& entry : inputs.watchlist) {
-      md += "| " + entry.label + " |";
+      // Append piecewise rather than chaining operator+: GCC 12 raises a
+      // -Wrestrict false positive (PR105651) on the inlined temporary chain,
+      // and piecewise appends skip the temporaries entirely.
+      md += "| ";
+      md += entry.label;
+      md += " |";
       for (const auto& row : entry.trend) {
-        md += " " + FormatDouble(row.confidence, 2) + " |";
+        md += ' ';
+        md += FormatDouble(row.confidence, 2);
+        md += " |";
       }
-      md += " " +
-            std::string(TrendVerdictName(ClassifyTrend(entry.trend))) +
-            " |\n";
+      md += ' ';
+      md += TrendVerdictName(ClassifyTrend(entry.trend));
+      md += " |\n";
     }
   }
   return md;

@@ -15,7 +15,8 @@ Preprocessor::Preprocessor(PreprocessOptions options)
     for (const DrugAlias& alias : CuratedDrugAliases()) {
       // Aliases are pre-normalized uppercase; failure means alias ==
       // canonical which the curated table never contains.
-      drug_dictionary_.AddAlias(alias.alias, alias.canonical);
+      MARAS_IGNORE_STATUS(drug_dictionary_.AddAlias(alias.alias,
+                                                    alias.canonical));
     }
   }
 }

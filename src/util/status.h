@@ -15,7 +15,11 @@ namespace maras {
 // Idiom (RocksDB/Arrow style):
 //   Status s = DoSomething();
 //   if (!s.ok()) return s;
-class Status {
+//
+// [[nodiscard]]: a silently-dropped error from ingest, mining, or
+// checkpointing corrupts downstream safety signals, so every Status return
+// must be consumed. Use MARAS_IGNORE_STATUS to discard with justification.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -121,6 +125,14 @@ Status WithContext(const Status& status, std::string_view context);
 inline bool operator==(const Status& a, const Status& b) {
   return a.code() == b.code() && a.message() == b.message();
 }
+
+// Explicitly discards a Status (or StatusOr) expression. The only sanctioned
+// way to drop a [[nodiscard]] result; grep-able so every deliberate discard
+// carries a nearby justification comment.
+#define MARAS_IGNORE_STATUS(expr) \
+  do {                            \
+    (void)(expr);                 \
+  } while (0)
 
 // Evaluates `expr` (a Status expression) and returns it from the enclosing
 // function if it is not OK.

@@ -12,8 +12,11 @@ namespace maras {
 // StatusOr<T> holds either a value of type T or a non-OK Status describing
 // why the value is absent. Access to the value when !ok() aborts in debug
 // builds (assert), mirroring absl::StatusOr semantics without exceptions.
+//
+// [[nodiscard]] for the same reason as Status: dropping a StatusOr drops an
+// error. Use MARAS_IGNORE_STATUS (util/status.h) for a justified discard.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Constructs from an error status. `status` must not be OK; an OK status
   // without a value is replaced by an Internal error.

@@ -13,8 +13,8 @@ std::string Color::ToHex() const {
 
 Color Color::Mix(const Color& other, double t) const {
   t = std::clamp(t, 0.0, 1.0);
-  auto lerp = [t](uint8_t a, uint8_t b) {
-    return static_cast<uint8_t>(a + (b - a) * t + 0.5);
+  auto lerp = [t](uint8_t from, uint8_t to) {
+    return static_cast<uint8_t>(from + (to - from) * t + 0.5);
   };
   return Color{lerp(r, other.r), lerp(g, other.g), lerp(b, other.b)};
 }

@@ -40,11 +40,17 @@ SvgDocument PanoramaRenderer::Render(const std::vector<PanoramaEntry>& entries,
     const double cy = header + (static_cast<double>(row) + 0.45) * cell;
     renderer.Draw(&doc, cx, cy, entries[i].spec);
 
+    // Piecewise appends: GCC 12's -Wrestrict false-positives (PR105651) on
+    // inlined `"lit" + std::to_string(...)` temporary chains.
     std::string caption;
-    if (options_.show_rank) caption += "#" + std::to_string(i + 1);
+    if (options_.show_rank) {
+      caption += '#';
+      caption += std::to_string(i + 1);
+    }
     if (options_.show_score) {
       if (!caption.empty()) caption += "  ";
-      caption += "score " + maras::FormatDouble(entries[i].score, 3);
+      caption += "score ";
+      caption += maras::FormatDouble(entries[i].score, 3);
     }
     if (!caption.empty()) {
       SvgDocument::TextStyle ct;

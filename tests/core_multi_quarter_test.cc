@@ -123,7 +123,7 @@ TEST(ClassifyTrendTest, Verdicts) {
   auto row = [](size_t combo, double conf) {
     QuarterlySignalTrend r;
     r.combination_reports = combo;
-    r.reports = static_cast<size_t>(conf * combo);
+    r.reports = static_cast<size_t>(conf * static_cast<double>(combo));
     r.confidence = conf;
     return r;
   };

@@ -34,7 +34,8 @@ class ClosedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ClosedPropertyTest, NoSupersetOfAClosedItemsetHasEqualSupport) {
   maras::Rng rng(GetParam());
-  TransactionDatabase db = RandomDb(&rng, 80 + GetParam() % 40, 10, 6);
+  TransactionDatabase db =
+      RandomDb(&rng, static_cast<int>(80 + GetParam() % 40), 10, 6);
   MiningOptions options{.min_support = 2};
   auto all = FpGrowth(options).Mine(db);
   ASSERT_TRUE(all.ok());
