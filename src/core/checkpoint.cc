@@ -27,7 +27,7 @@ void EncodeItemset(BinaryWriter* w, const mining::Itemset& s) {
 
 maras::Status DecodeItemset(BinaryReader* r, mining::Itemset* s) {
   uint32_t n = 0;
-  MARAS_RETURN_IF_ERROR(r->U32(&n));
+  MARAS_RETURN_IF_ERROR(r->Count32(&n, sizeof(uint32_t)));
   s->clear();
   s->reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -110,6 +110,11 @@ maras::Status DecodeIngestReport(BinaryReader* r,
   return DecodeStrings(r, &report->warnings);
 }
 
+// Smallest possible EncodeRule output: two empty itemsets (4-byte counts)
+// plus three U64 supports and two F64 measures. Used to validate decoded
+// element counts before reserving.
+constexpr size_t kMinEncodedRuleBytes = 4 + 4 + 3 * 8 + 2 * 8;
+
 void EncodeRule(BinaryWriter* w, const DrugAdrRule& rule) {
   EncodeItemset(w, rule.drugs);
   EncodeItemset(w, rule.adrs);
@@ -150,7 +155,7 @@ maras::Status DecodeMcac(BinaryReader* r, Mcac* mcac) {
   mcac->levels.clear();
   for (uint64_t l = 0; l < levels; ++l) {
     uint64_t rules = 0;
-    MARAS_RETURN_IF_ERROR(r->U64(&rules));
+    MARAS_RETURN_IF_ERROR(r->Count(&rules, kMinEncodedRuleBytes));
     std::vector<DrugAdrRule> level;
     level.reserve(static_cast<size_t>(rules));
     for (uint64_t i = 0; i < rules; ++i) {
@@ -310,7 +315,7 @@ maras::StatusOr<faers::PreprocessResult> DecodePreprocessResult(
     result.transactions.Add(std::move(itemset));
   }
   uint64_t ids = 0;
-  MARAS_RETURN_IF_ERROR(r.U64(&ids));
+  MARAS_RETURN_IF_ERROR(r.Count(&ids, sizeof(uint64_t)));
   result.primary_ids.reserve(static_cast<size_t>(ids));
   for (uint64_t i = 0; i < ids; ++i) {
     uint64_t id = 0;
@@ -318,7 +323,7 @@ maras::StatusOr<faers::PreprocessResult> DecodePreprocessResult(
     result.primary_ids.push_back(id);
   }
   uint64_t demos = 0;
-  MARAS_RETURN_IF_ERROR(r.U64(&demos));
+  MARAS_RETURN_IF_ERROR(r.Count(&demos, 1));  // >= 1 byte (sex) per entry
   result.demographics.reserve(static_cast<size_t>(demos));
   for (uint64_t i = 0; i < demos; ++i) {
     faers::CaseDemographics demo;
@@ -450,7 +455,7 @@ maras::StatusOr<std::vector<DrugAdrRule>> DecodeRules(
     std::string_view payload) {
   BinaryReader r(payload);
   uint64_t n = 0;
-  MARAS_RETURN_IF_ERROR(r.U64(&n));
+  MARAS_RETURN_IF_ERROR(r.Count(&n, kMinEncodedRuleBytes));
   std::vector<DrugAdrRule> rules;
   rules.reserve(static_cast<size_t>(n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -476,7 +481,8 @@ maras::StatusOr<std::vector<RankedMcac>> DecodeRankedMcacs(
     std::string_view payload) {
   BinaryReader r(payload);
   uint64_t n = 0;
-  MARAS_RETURN_IF_ERROR(r.U64(&n));
+  // Each RankedMcac holds at least a target rule, a level count, a score.
+  MARAS_RETURN_IF_ERROR(r.Count(&n, kMinEncodedRuleBytes + 2 * 8));
   std::vector<RankedMcac> ranked;
   ranked.reserve(static_cast<size_t>(n));
   for (uint64_t i = 0; i < n; ++i) {

@@ -84,12 +84,38 @@ class BinaryReader {
     return Status::OK();
   }
 
+  // Reads an element count and validates it against the bytes left: every
+  // element occupies at least `min_bytes_per_elem` encoded bytes, so a
+  // count the remaining payload cannot possibly satisfy is forged or torn.
+  // Decoders MUST use this (not a raw U32/U64) before reserve()ing — found
+  // by fuzz_checkpoint: a mutated count of ~2^60 reached vector::reserve
+  // and threw std::length_error before any per-element read could fail.
+  Status Count(uint64_t* n, size_t min_bytes_per_elem) {
+    MARAS_RETURN_IF_ERROR(U64(n));
+    return ValidateCount(*n, min_bytes_per_elem);
+  }
+  Status Count32(uint32_t* n, size_t min_bytes_per_elem) {
+    MARAS_RETURN_IF_ERROR(U32(n));
+    return ValidateCount(*n, min_bytes_per_elem);
+  }
+
   // A well-formed payload is consumed exactly; trailing bytes mean the
   // payload and its framing disagree.
   bool exhausted() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
+  Status ValidateCount(uint64_t n, size_t min_bytes_per_elem) {
+    const size_t per_elem = min_bytes_per_elem == 0 ? 1 : min_bytes_per_elem;
+    if (n > remaining() / per_elem) {
+      return Status::Corruption(
+          "implausible element count " + std::to_string(n) + ": " +
+          std::to_string(remaining()) + " payload bytes remain at offset " +
+          std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
   Status Need(uint64_t n) {
     if (n > data_.size() - pos_) {
       return Status::Corruption(
