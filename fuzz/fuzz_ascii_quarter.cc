@@ -1,0 +1,60 @@
+// Fuzz harness for the FAERS quarterly ASCII parser — the outermost
+// untrusted-input surface: real extracts arrive from the FDA as flat files
+// and PR 1's corruption study showed how many ways they rot in transit.
+//
+// Input layout: the blob is split on 0x1F (unit separator, never valid in
+// the tables) into DEMO / DRUG / REAC file contents. Both the strict and
+// the quarantine read paths run; any Status outcome is acceptable, crashes
+// and sanitizer reports are not.
+
+#include <string>
+#include <string_view>
+
+#include "faers/ascii_format.h"
+#include "faers/ingest.h"
+#include "fuzz/fuzz_target.h"
+
+namespace {
+
+maras::faers::AsciiQuarterFiles SplitInput(std::string_view blob) {
+  maras::faers::AsciiQuarterFiles files;
+  const size_t first = blob.find('\x1f');
+  if (first == std::string_view::npos) {
+    files.demo = std::string(blob);
+    return files;
+  }
+  files.demo = std::string(blob.substr(0, first));
+  const size_t second = blob.find('\x1f', first + 1);
+  if (second == std::string_view::npos) {
+    files.drug = std::string(blob.substr(first + 1));
+    return files;
+  }
+  files.drug = std::string(blob.substr(first + 1, second - first - 1));
+  files.reac = std::string(blob.substr(second + 1));
+  return files;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view blob(reinterpret_cast<const char*>(data), size);
+  const maras::faers::AsciiQuarterFiles files = SplitInput(blob);
+
+  auto strict = maras::faers::ReadAsciiQuarter(files, 2014, 1);
+  if (strict.ok()) {
+    // A parse that succeeded strictly must also round-trip through the
+    // writer without crashing.
+    auto rewritten = maras::faers::WriteAsciiQuarter(*strict);
+    MARAS_IGNORE_STATUS(rewritten);  // outcome irrelevant, only no-crash
+  }
+
+  maras::faers::IngestOptions options;
+  options.policy = maras::faers::IngestPolicy::kQuarantine;
+  options.max_bad_row_fraction = 1.0;  // never abort: walk every row
+  options.max_quarantined_rows = 64;   // bound capture memory
+  maras::faers::IngestReport report;
+  auto lenient =
+      maras::faers::ReadAsciiQuarter(files, 2014, 1, options, &report);
+  MARAS_IGNORE_STATUS(lenient);  // outcome irrelevant, only no-crash
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fuzz harness for util/json — the parser sits on the openFDA ingest path,
+// so it consumes bytes straight off the network. The parser must return
+// Corruption (with position info) on anything malformed; a successful parse
+// must serialize deterministically and re-parse to success.
+
+#include <string_view>
+
+#include "fuzz/fuzz_target.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = maras::json::Parse(text);
+  if (!parsed.ok()) return 0;
+  // Serialize/re-parse: the serializer's output is a JSON document by
+  // contract, so it must survive its own parser.
+  const std::string out = maras::json::Serialize(*parsed, (size % 2) != 0);
+  auto reparsed = maras::json::Parse(out);
+  if (!reparsed.ok()) {
+    __builtin_trap();  // serializer emitted a document Parse rejects
+  }
+  return 0;
+}

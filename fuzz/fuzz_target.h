@@ -1,0 +1,16 @@
+#ifndef MARAS_FUZZ_FUZZ_TARGET_H_
+#define MARAS_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// The libFuzzer entry point every harness in fuzz/ defines. Built two ways:
+//
+//   * MARAS_LIBFUZZER (clang): linked against -fsanitize=fuzzer, libFuzzer
+//     provides main() and drives coverage-guided mutation.
+//   * otherwise (gcc has no libFuzzer): linked with standalone_main.cc,
+//     which replays a corpus and applies bounded deterministic mutations —
+//     the fuzz-smoke mode every toolchain can run.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // MARAS_FUZZ_FUZZ_TARGET_H_

@@ -1,0 +1,196 @@
+// Generates the seed corpus for the fuzz harnesses. Seeds come from the
+// same machinery the corruption study (faers/corruptor) trusts: a real
+// synthetic FAERS quarter for the ASCII parser, real codec output for the
+// checkpoint decoders, and representative openFDA-shaped documents for the
+// JSON parser. Starting from valid inputs puts mutations on the boundary
+// between accept and reject, where parser bugs live.
+//
+// Usage: make_seeds <output-dir>   (creates <output-dir>/{ascii,checkpoint,json})
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "faers/ascii_format.h"
+#include "faers/generator.h"
+#include "faers/preprocess.h"
+#include "util/status.h"
+
+namespace {
+
+using maras::core::ClosedCheckpoint;
+using maras::core::QuarterCheckpoint;
+
+maras::Status WriteFile(const std::filesystem::path& path,
+                        const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return maras::Status::IOError("cannot write " + path.string());
+  }
+  return maras::Status::OK();
+}
+
+// The harness input framing: selector byte for the checkpoint decoders.
+std::string WithSelector(unsigned char selector, const std::string& payload) {
+  std::string out(1, static_cast<char>(selector));
+  out += payload;
+  return out;
+}
+
+maras::Status Generate(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const char* sub : {"ascii", "checkpoint", "json"}) {
+    fs::create_directories(root / sub, ec);
+    if (ec) {
+      return maras::Status::IOError("cannot create " +
+                                    (root / sub).string());
+    }
+  }
+
+  // --- ascii: a small but real synthetic quarter ---------------------------
+  maras::faers::GeneratorConfig config;
+  config.seed = 20260806;
+  config.n_reports = 120;
+  config.n_drugs = 40;
+  config.n_adrs = 24;
+  config.signals.push_back({.name = "seed-signal",
+                            .drugs = {"WARFARIN", "ASPIRIN"},
+                            .adrs = {"GASTROINTESTINAL HAEMORRHAGE"},
+                            .reports = 12});
+  maras::faers::SyntheticGenerator generator(config);
+  auto dataset = generator.Generate();
+  if (!dataset.ok()) return dataset.status();
+  auto files = maras::faers::WriteAsciiQuarter(*dataset);
+  if (!files.ok()) return files.status();
+
+  std::string blob = files->demo;
+  blob += '\x1f';
+  blob += files->drug;
+  blob += '\x1f';
+  blob += files->reac;
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "ascii" / "quarter.bin", blob));
+
+  const std::string tiny =
+      "primaryid$caseid$caseversion$rept_cod$age$sex$occr_country\n"
+      "100000001$9001$1$EXP$44$F$US\n"
+      "\x1f"
+      "primaryid$caseid$drug_seq$role_cod$drugname\n"
+      "100000001$9001$1$PS$WARFARIN\n"
+      "\x1f"
+      "primaryid$caseid$pt\n"
+      "100000001$9001$ANAEMIA\n";
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "ascii" / "tiny.bin", tiny));
+  // Headers only: the smallest structurally-valid quarter.
+  const std::string empty_tables =
+      "primaryid$caseid$caseversion$rept_cod$age$sex$occr_country\n"
+      "\x1f"
+      "primaryid$caseid$drug_seq$role_cod$drugname\n"
+      "\x1f"
+      "primaryid$caseid$pt\n";
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "ascii" / "headers.bin",
+                                  empty_tables));
+
+  // --- checkpoint: real codec output behind each selector ------------------
+  maras::faers::Preprocessor preprocessor({});
+  auto preprocessed = preprocessor.Process(*dataset);
+  if (!preprocessed.ok()) return preprocessed.status();
+
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "preprocess.bin",
+      WithSelector(0, maras::core::EncodePreprocessResult(*preprocessed))));
+
+  QuarterCheckpoint loaded;
+  loaded.outcome.label = "2014Q1";
+  loaded.outcome.loaded = true;
+  loaded.result = *preprocessed;
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "quarter_loaded.bin",
+      WithSelector(1, maras::core::EncodeQuarterCheckpoint(loaded))));
+
+  QuarterCheckpoint skipped;
+  skipped.outcome.label = "2014Q2";
+  skipped.outcome.loaded = false;
+  skipped.outcome.error = "IOError: DEMO14Q2.txt missing";
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "quarter_skipped.bin",
+      WithSelector(1, maras::core::EncodeQuarterCheckpoint(skipped))));
+
+  maras::mining::FrequentItemsetResult itemsets;
+  itemsets.Add({1, 2}, 17);
+  itemsets.Add({1, 2, 5}, 9);
+  itemsets.Add({3}, 40);
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "itemsets.bin",
+      WithSelector(2, maras::core::EncodeItemsetResult(itemsets))));
+
+  ClosedCheckpoint closed;
+  closed.stats.total_rules = 120;
+  closed.stats.filtered_rules = 30;
+  closed.stats.closed_mixed = 12;
+  closed.stats.mcac_count = 4;
+  closed.min_support_used = 5;
+  closed.truncated = true;
+  closed.notes = {"degraded: min_support escalated 2 -> 5"};
+  closed.closed = itemsets;
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "closed.bin",
+      WithSelector(3, maras::core::EncodeClosedCheckpoint(closed))));
+
+  maras::core::DrugAdrRule rule;
+  rule.drugs = {3, 9};
+  rule.adrs = {14};
+  rule.support = 21;
+  rule.antecedent_support = 30;
+  rule.consequent_support = 44;
+  rule.confidence = 0.7;
+  rule.lift = 1.0 / 3.0;
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "rules.bin",
+      WithSelector(4, maras::core::EncodeRules({rule, rule}))));
+
+  maras::core::RankedMcac ranked;
+  ranked.mcac.target = rule;
+  ranked.mcac.levels = {{rule}};
+  ranked.score = 0.83;
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "checkpoint" / "ranked.bin",
+      WithSelector(5, maras::core::EncodeRankedMcacs({ranked}))));
+
+  // --- json: openFDA-shaped plus syntax-corner documents --------------------
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "json" / "openfda.json",
+      R"({"meta":{"results":{"skip":0,"limit":2,"total":2}},"results":[)"
+      R"({"safetyreportid":"10003301","serious":"1","patient":{)"
+      R"("drug":[{"medicinalproduct":"WARFARIN","drugcharacterization":"1"},)"
+      R"({"medicinalproduct":"ASPIRIN"}],)"
+      R"("reaction":[{"reactionmeddrapt":"Gastrointestinal haemorrhage"}]}},)"
+      R"({"safetyreportid":"10003302","patient":{)"
+      R"("drug":[{"medicinalproduct":"METFORMIN"}],)"
+      R"("reaction":[{"reactionmeddrapt":"Nausea"}]}}]})"));
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "json" / "corners.json",
+      R"({"escape":"a\"b\\c\/dé\n","empty":{},"arr":[[],[null]],)"
+      R"("nums":[0,-1,3.5,1e10,2.2250738585072014e-308,17179869184]})"));
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "json" / "scalar.json", "true"));
+  return maras::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  maras::Status status = Generate(argv[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "make_seeds: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("make_seeds: corpus written under %s\n", argv[1]);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Standalone driver for the fuzz harnesses: replays a corpus and applies a
+// bounded number of deterministic mutations per seed, calling the same
+// LLVMFuzzerTestOneInput the coverage-guided build uses. This is what
+// `ctest -L fuzz-smoke` runs — it works on every toolchain (gcc has no
+// libFuzzer) and its run count is fixed, so the smoke stays time-bounded.
+//
+// Usage: <harness> [--mutations N] [--seed S] <file-or-dir>...
+//
+// Mutations are derived from an xorshift stream keyed on (seed, input
+// bytes, round), mirroring the corruption study's operator set: byte
+// flips, erases, inserts, truncations, and chunk duplication. The same
+// invocation always replays the same inputs.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_target.h"
+
+namespace {
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct XorShift {
+  uint64_t state;
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  // Uniform in [0, bound); bound must be nonzero.
+  size_t Below(size_t bound) {
+    return static_cast<size_t>(Next() % static_cast<uint64_t>(bound));
+  }
+};
+
+std::string Mutate(const std::string& seed, XorShift* rng) {
+  std::string out = seed;
+  const size_t edits = 1 + rng->Below(4);
+  for (size_t e = 0; e < edits; ++e) {
+    if (out.empty()) {
+      out.push_back(static_cast<char>(rng->Below(256)));
+      continue;
+    }
+    const size_t pos = rng->Below(out.size());
+    switch (rng->Below(5)) {
+      case 0:  // flip a byte
+        out[pos] = static_cast<char>(rng->Below(256));
+        break;
+      case 1:  // erase one byte
+        out.erase(pos, 1);
+        break;
+      case 2:  // insert one byte
+        out.insert(pos, 1, static_cast<char>(rng->Below(256)));
+        break;
+      case 3:  // truncate (torn file)
+        out.resize(pos);
+        break;
+      default: {  // duplicate a chunk (repeated record)
+        const size_t len = 1 + rng->Below(std::min<size_t>(
+                                   32, out.size() - pos));
+        out.insert(pos, out.substr(pos, len));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t mutations = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutations") == 0 && i + 1 < argc) {
+      mutations = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutations N] [--seed S] <file-or-dir>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const std::string& input : inputs) {
+    std::filesystem::path p(input);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "fuzz: no such input: %s\n", input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t runs = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    RunOne(bytes);
+    ++runs;
+    XorShift rng{seed ^ Fnv1a(bytes) ^ 0x9e3779b97f4a7c15ull};
+    for (size_t m = 0; m < mutations; ++m) {
+      RunOne(Mutate(bytes, &rng));
+      ++runs;
+    }
+  }
+  std::printf("fuzz-smoke: %zu seed file(s), %zu total run(s), no crash\n",
+              files.size(), runs);
+  return 0;
+}

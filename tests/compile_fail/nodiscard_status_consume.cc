@@ -1,0 +1,25 @@
+// Positive control for the compile-fail test: identical shape to
+// nodiscard_status_drop.cc, except every result is consumed. This file
+// must compile under the same flags — proving the negative test fails for
+// the dropped results, not for an unrelated reason.
+#include <utility>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace {
+
+maras::Status Fallible() { return maras::Status::IOError("boom"); }
+maras::StatusOr<int> FallibleValue() { return maras::Status::IOError("boom"); }
+
+}  // namespace
+
+int main() {
+  maras::Status status = Fallible();
+  if (!status.ok()) {
+    // Justified discard: exercising the sanctioned macro.
+    MARAS_IGNORE_STATUS(Fallible());
+  }
+  auto value = FallibleValue();
+  return value.ok() ? std::move(value).value() : 0;
+}

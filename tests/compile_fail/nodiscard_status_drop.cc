@@ -1,0 +1,19 @@
+// Compile-time negative test: dropping a Status return must NOT compile
+// under -Werror=unused-result. The ctest that builds this file is marked
+// WILL_FAIL — if this ever compiles, the [[nodiscard]] guarantee has
+// regressed and the test suite goes red.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace {
+
+maras::Status Fallible() { return maras::Status::IOError("boom"); }
+maras::StatusOr<int> FallibleValue() { return maras::Status::IOError("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible();       // dropped Status: must be a compile error
+  FallibleValue();  // dropped StatusOr: must be a compile error
+  return 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks (never rewrites) formatting of the tracked C++ sources against the
+# repo .clang-format. Exit codes: 0 clean, 1 violations, 77 skipped because
+# clang-format is unavailable (ctest SKIP_RETURN_CODE), 2 usage.
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+fmt=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    fmt="$candidate"
+    break
+  fi
+done
+if [ -z "$fmt" ]; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 77
+fi
+
+# Tracked sources only; lint testdata fixtures are style-exempt.
+files=$(git ls-files 'src/*.h' 'src/*.cc' 'tests/*.h' 'tests/*.cc' \
+                     'bench/*.h' 'bench/*.cc' 'examples/*.cpp' \
+                     'fuzz/*.h' 'fuzz/*.cc' \
+        | grep -v '^tools/lint/testdata/')
+if [ -z "$files" ]; then
+  echo "check_format: no files matched — refusing to vacuously pass" >&2
+  exit 1
+fi
+
+status=0
+# shellcheck disable=SC2086
+for f in $files; do
+  if ! "$fmt" --dry-run -Werror "$f" > /dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "check_format: $(echo "$files" | wc -l) file(s) clean under $fmt"
+fi
+exit $status

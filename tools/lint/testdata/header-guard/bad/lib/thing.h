@@ -1,0 +1,3 @@
+#pragma once
+
+// Fixture: #pragma once instead of the guard convention — must fire.

@@ -1,0 +1,6 @@
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+// Fixture: guard not derived from the path — must fire.
+
+#endif  // SOME_OTHER_GUARD_H

@@ -1,0 +1,6 @@
+#ifndef MARAS_LIB_THING_H_
+#define MARAS_LIB_THING_H_
+
+// Fixture: canonical guard derived from the path — must stay quiet.
+
+#endif  // MARAS_LIB_THING_H_

@@ -1,0 +1,9 @@
+// Fixture: node-based hash container in a mining hot path — must fire.
+#include <unordered_map>
+
+namespace maras::mining {
+void Accumulate() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+}
+}  // namespace maras::mining

@@ -1,0 +1,11 @@
+// Fixture: hot-path mining file using the flat tables — must stay quiet.
+// A comment mentioning std::unordered_map must not fire either.
+#include "mining/flat_table.h"
+
+namespace maras::mining {
+void Accumulate(FlatItemsetIndex* index) {
+  const char* label = "std::unordered_map in a string literal is fine";
+  (void)label;
+  (void)index;
+}
+}  // namespace maras::mining

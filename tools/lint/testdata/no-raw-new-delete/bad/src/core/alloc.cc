@@ -1,0 +1,8 @@
+// Fixture: raw new/delete expressions — both must fire.
+namespace maras::core {
+
+int* Make() { return new int(42); }
+
+void Destroy(int* p) { delete p; }
+
+}  // namespace maras::core

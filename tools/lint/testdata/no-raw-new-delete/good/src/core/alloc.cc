@@ -1,0 +1,24 @@
+// Fixture: sanctioned allocation idioms — must stay quiet.
+#include <string>
+#include <vector>
+
+namespace maras::core {
+
+// Leaky singleton: intentionally immortal, avoids destruction-order fiasco.
+const std::vector<std::string>& Names() {
+  static const auto* names = new std::vector<std::string>{"A", "B"};
+  return *names;
+}
+
+// Deleted special members are declarations, not delete expressions.
+class Pinned {
+ public:
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+// "new" and "delete" inside comments and strings never fire.
+const char* Doc() { return "never call new or delete here"; }
+
+}  // namespace maras::core

@@ -1,0 +1,9 @@
+#ifndef MARAS_LIB_LEAKY_H_
+#define MARAS_LIB_LEAKY_H_
+
+// Fixture: using-directive in a header — must fire.
+#include <string>
+
+using namespace std;
+
+#endif  // MARAS_LIB_LEAKY_H_

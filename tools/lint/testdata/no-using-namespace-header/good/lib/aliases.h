@@ -1,0 +1,11 @@
+#ifndef MARAS_LIB_ALIASES_H_
+#define MARAS_LIB_ALIASES_H_
+
+// Fixture: targeted using-declarations are fine — must stay quiet.
+#include <string>
+
+namespace maras {
+using std::string;  // a using-declaration, not a using-directive
+}  // namespace maras
+
+#endif  // MARAS_LIB_ALIASES_H_

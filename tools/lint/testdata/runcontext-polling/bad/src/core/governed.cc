@@ -1,0 +1,16 @@
+// Fixture: takes a RunContext, loops, never polls or forwards — must fire.
+#include "util/run_context.h"
+#include "util/status.h"
+
+namespace maras::core {
+
+void Step(int i);
+
+maras::Status RunsAway(const maras::RunContext& ctx, int n) {
+  for (int i = 0; i < n; ++i) {
+    Step(i);
+  }
+  return maras::Status::OK();
+}
+
+}  // namespace maras::core

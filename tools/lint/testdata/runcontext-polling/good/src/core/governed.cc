@@ -1,0 +1,31 @@
+// Fixture: governed loops that poll or forward the context — must stay
+// quiet. Mirrors the closed_itemsets / rules polling idiom.
+#include "util/run_context.h"
+#include "util/status.h"
+
+namespace maras::core {
+
+maras::Status Worker(const maras::RunContext& ctx, int n);
+
+// Polls Check() inside the loop.
+maras::Status Polls(const maras::RunContext& ctx, int n) {
+  for (int i = 0; i < n; ++i) {
+    maras::Status poll = ctx.Check();
+    if (!poll.ok()) return poll;
+  }
+  return maras::Status::OK();
+}
+
+// Forwards the context to a callee that polls.
+maras::Status Forwards(const maras::RunContext& ctx, int n) {
+  for (int i = 0; i < n; ++i) {
+    maras::Status st = Worker(ctx, i);
+    if (!st.ok()) return st;
+  }
+  return maras::Status::OK();
+}
+
+// No loop at all: nothing to poll.
+maras::Status Straight(const maras::RunContext& ctx) { return ctx.Check(); }
+
+}  // namespace maras::core

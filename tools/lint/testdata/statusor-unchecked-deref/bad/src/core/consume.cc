@@ -1,0 +1,14 @@
+// Fixture: .value() chained straight onto the call — must fire.
+#include <string>
+
+#include "util/statusor.h"
+
+namespace maras::core {
+
+maras::StatusOr<std::string> Load(int id);
+
+std::string Use(int id) {
+  return Load(id).value();
+}
+
+}  // namespace maras::core

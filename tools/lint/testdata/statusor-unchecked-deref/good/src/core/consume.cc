@@ -1,0 +1,18 @@
+// Fixture: the checked-consume idiom — must stay quiet.
+#include <string>
+#include <utility>
+
+#include "util/statusor.h"
+
+namespace maras::core {
+
+maras::StatusOr<std::string> Load(int id);
+
+std::string Use(int id) {
+  auto loaded = Load(id);
+  if (!loaded.ok()) return "";
+  // std::move(x).value() after an ok() branch is the sanctioned consume.
+  return std::move(loaded).value();
+}
+
+}  // namespace maras::core

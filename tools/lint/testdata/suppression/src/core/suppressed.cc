@@ -1,0 +1,14 @@
+// Fixture: violations annotated with maras-lint: disable — must stay quiet.
+namespace maras::core {
+
+int* Make() {
+  // Transfer to a C API that frees with delete; audited 2026-08.
+  // maras-lint: disable=no-raw-new-delete
+  return new int(42);
+}
+
+void Destroy(int* p) {
+  delete p;  // maras-lint: disable=no-raw-new-delete — C-API ownership
+}
+
+}  // namespace maras::core
