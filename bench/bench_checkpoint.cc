@@ -1,97 +1,218 @@
-// Checkpoint overhead harness: how much does snapshotting each pipeline
-// stage cost next to computing it, and how much of an interrupted run does
-// resume actually save? Reports per-stage compute time, checkpoint
-// write/read+verify time, snapshot sizes, and the wall-clock of a cold run
-// vs a fully-resumed one, plus the process peak RSS next to the governed
-// MemoryBudget estimate.
+// Checkpoint micro-benchmarks: codec encode/decode throughput (itemset
+// families and mine-shard snapshots), atomic write+fsync+rename publish
+// cost, and read+verify cost — the per-shard overhead every worker in the
+// sharded pipeline pays. `--bench_json` writes the perf trajectory
+// (bench/baselines/BENCH_checkpoint.json); `--smoke` runs the Release-mode
+// result-hash gate: codecs must round-trip bit-exactly through the framed
+// file format, and the union of item-range mine shards must hash identical
+// to the unsharded mine (the invariant the shard supervisor's byte-identity
+// rests on).
 
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "core/checkpoint.h"
-#include "core/multi_quarter.h"
-#include "util/run_context.h"
-#include "util/stopwatch.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
 
-int main() {
-  using namespace maras;
-  const double scale = bench::ScaleFromEnv();
-  bench::PrintHeader("Checkpoint — snapshot overhead vs stage cost");
+namespace {
 
-  std::vector<faers::QuarterDataset> quarters;
-  for (int q = 1; q <= 4; ++q) {
-    faers::SyntheticGenerator generator(bench::QuarterConfig(q, scale));
-    auto dataset = generator.Generate();
-    MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
-    quarters.push_back(*std::move(dataset));
+using namespace maras;
+using mining::ItemId;
+using mining::Itemset;
+using mining::TransactionDatabase;
+
+TransactionDatabase MakeDb(size_t transactions, size_t items,
+                           double mean_len, uint64_t seed) {
+  Rng rng(seed);
+  ZipfTable zipf(items, 1.05);
+  TransactionDatabase db;
+  for (size_t t = 0; t < transactions; ++t) {
+    Itemset txn;
+    size_t len = 1 + static_cast<size_t>(rng.Poisson(mean_len));
+    for (size_t i = 0; i < len; ++i) {
+      txn.push_back(static_cast<ItemId>(zipf.Sample(&rng)));
+    }
+    db.Add(std::move(txn));
   }
+  return db;
+}
 
+// A frequent-itemset family of roughly `n` itemsets, mined (not fabricated)
+// so the codec sees realistic shape and support distributions.
+mining::FrequentItemsetResult MakeFamily(size_t transactions) {
+  TransactionDatabase db = MakeDb(transactions, 80, 4.0, 29);
+  mining::MiningOptions options;
+  options.min_support = 3;
+  options.max_itemset_size = 5;
+  auto mined = mining::FpGrowth(options).Mine(db);
+  MARAS_CHECK(mined.ok()) << mined.status().ToString();
+  return *std::move(mined);
+}
+
+std::string ScratchDir() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "maras_bench_ckpt").string();
-  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
-  core::AnalyzerOptions analyzer = bench::DefaultAnalyzerOptions(scale);
-  analyzer.mining.min_support *= 4;  // four quarters of data
-
-  // Cold baseline: no checkpointing at all.
-  Stopwatch cold_watch;
-  core::MultiQuarterPipeline plain{core::MultiQuarterOptions{}};
-  auto cold = plain.RunAnalyzed(quarters, analyzer);
-  MARAS_CHECK(cold.ok()) << cold.status().ToString();
-  const double cold_ms = cold_watch.ElapsedMillis();
-
-  // Checkpointed run: same work plus a snapshot after every stage.
-  core::MultiQuarterOptions snap_options;
-  snap_options.checkpoint_dir = dir;
-  Stopwatch snap_watch;
-  auto snapped =
-      core::MultiQuarterPipeline(snap_options).RunAnalyzed(quarters, analyzer);
-  MARAS_CHECK(snapped.ok()) << snapped.status().ToString();
-  const double snap_ms = snap_watch.ElapsedMillis();
-
-  // Resumed run: every stage replayed from its validated snapshot.
-  core::MultiQuarterOptions resume_options = snap_options;
-  resume_options.resume = true;
-  Stopwatch resume_watch;
-  auto resumed = core::MultiQuarterPipeline(resume_options)
-                     .RunAnalyzed(quarters, analyzer);
-  MARAS_CHECK(resumed.ok()) << resumed.status().ToString();
-  const double resume_ms = resume_watch.ElapsedMillis();
-  MARAS_CHECK(core::EncodeRankedMcacs(resumed->ranked) ==
-              core::EncodeRankedMcacs(cold->ranked))
-      << "resumed ranking diverged from the cold run";
-
-  std::printf("\ncold run          %8.1f ms   (%zu rules, %zu MCACs)\n",
-              cold_ms, cold->rules.size(), cold->ranked.size());
-  std::printf("checkpointed run  %8.1f ms   (+%.1f%% snapshot overhead)\n",
-              snap_ms, 100.0 * (snap_ms - cold_ms) / cold_ms);
-  std::printf("resumed run       %8.1f ms   (%zu stages replayed, %.1fx "
-              "speedup)\n",
-              resume_ms, resumed->stages_resumed, cold_ms / resume_ms);
-
-  // Per-snapshot read+verify cost and sizes.
-  std::printf("\nper-stage snapshots:\n");
-  std::vector<std::string> stages;
-  for (const auto& quarter : quarters) {
-    stages.push_back("quarter-" + quarter.Label());
+void BM_EncodeItemsetResult(benchmark::State& state) {
+  mining::FrequentItemsetResult family =
+      MakeFamily(static_cast<size_t>(state.range(0)));
+  std::string encoded;
+  for (auto _ : state) {
+    encoded = core::EncodeItemsetResult(family);
+    benchmark::DoNotOptimize(encoded);
   }
-  stages.insert(stages.end(), {"closed", "rules", "ranked"});
-  for (const std::string& stage : stages) {
-    const std::string path = core::CheckpointPath(dir, stage);
-    const auto bytes = std::filesystem::file_size(path);
-    Stopwatch read_watch;
-    auto payload = core::ReadCheckpoint(dir, stage);
-    MARAS_CHECK(payload.ok()) << payload.status().ToString();
-    std::printf("  %-16s %9.1f KiB   read+verify %6.2f ms\n", stage.c_str(),
-                static_cast<double>(bytes) / 1024.0,
-                read_watch.ElapsedMillis());
+  state.counters["itemsets"] =
+      static_cast<double>(family.itemsets().size());
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_EncodeItemsetResult)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DecodeItemsetResult(benchmark::State& state) {
+  const std::string encoded = core::EncodeItemsetResult(
+      MakeFamily(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = core::DecodeItemsetResult(encoded);
+    MARAS_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_DecodeItemsetResult)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_EncodeMineShardCheckpoint(benchmark::State& state) {
+  core::MineShardCheckpoint shard;
+  shard.shard_index = 1;
+  shard.shard_count = 4;
+  shard.min_support = 3;
+  shard.max_itemset_size = 5;
+  shard.frequent = MakeFamily(1000);
+  std::string encoded;
+  for (auto _ : state) {
+    encoded = core::EncodeMineShardCheckpoint(shard);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_EncodeMineShardCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeMineShardCheckpoint(benchmark::State& state) {
+  core::MineShardCheckpoint shard;
+  shard.shard_count = 4;
+  shard.min_support = 3;
+  shard.max_itemset_size = 5;
+  shard.frequent = MakeFamily(1000);
+  const std::string encoded = core::EncodeMineShardCheckpoint(shard);
+  for (auto _ : state) {
+    auto decoded = core::DecodeMineShardCheckpoint(encoded);
+    MARAS_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_DecodeMineShardCheckpoint)->Unit(benchmark::kMillisecond);
+
+void BM_WriteCheckpoint(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const std::string payload = core::EncodeItemsetResult(
+      MakeFamily(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    Status status = core::WriteCheckpoint(dir, "bench-write", payload);
+    MARAS_CHECK(status.ok()) << status.ToString();
+  }
+  state.counters["bytes"] = static_cast<double>(payload.size());
+}
+BENCHMARK(BM_WriteCheckpoint)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ReadCheckpointVerify(benchmark::State& state) {
+  const std::string dir = ScratchDir();
+  const std::string payload = core::EncodeItemsetResult(
+      MakeFamily(static_cast<size_t>(state.range(0))));
+  MARAS_CHECK(core::WriteCheckpoint(dir, "bench-read", payload).ok());
+  for (auto _ : state) {
+    auto read = core::ReadCheckpoint(dir, "bench-read");
+    MARAS_CHECK(read.ok()) << read.status().ToString();
+    benchmark::DoNotOptimize(read);
+  }
+  state.counters["bytes"] = static_cast<double>(payload.size());
+}
+BENCHMARK(BM_ReadCheckpointVerify)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+// Release-mode correctness gate (the bench-smoke ctest label).
+bool RunSmoke() {
+  bool ok = true;
+
+  // 1) Codec + framing round-trip: family -> encode -> file -> read+verify
+  //    -> decode -> re-encode must reproduce the exact bytes.
+  mining::FrequentItemsetResult family = MakeFamily(400);
+  const std::string encoded = core::EncodeItemsetResult(family);
+  const std::string dir = ScratchDir();
+  MARAS_CHECK(core::WriteCheckpoint(dir, "smoke", encoded).ok());
+  auto read = core::ReadCheckpoint(dir, "smoke");
+  MARAS_CHECK(read.ok()) << read.status().ToString();
+  auto decoded = core::DecodeItemsetResult(*read);
+  MARAS_CHECK(decoded.ok()) << decoded.status().ToString();
+  const std::string reencoded = core::EncodeItemsetResult(*decoded);
+  std::printf("smoke: family       result-hash %016llx (%zu itemsets)\n",
+              static_cast<unsigned long long>(bench::ResultHash(family)),
+              family.itemsets().size());
+  if (reencoded != encoded) {
+    std::fprintf(stderr, "smoke: codec round-trip is not bit-exact\n");
+    ok = false;
   }
 
-  std::printf("\npeak RSS: %.1f MiB\n",
-              static_cast<double>(bench::PeakRssBytes()) / (1 << 20));
-  std::filesystem::remove_all(dir);
-  return 0;
+  // 2) Mine-shard partition invariant: the union of the item-range strides
+  //    must hash identical to the unsharded mine at every shard count.
+  TransactionDatabase db = MakeDb(600, 60, 3.0, 13);
+  mining::MiningOptions base;
+  base.min_support = 3;
+  base.max_itemset_size = 5;
+  auto whole = mining::FpGrowth(base).Mine(db);
+  MARAS_CHECK(whole.ok());
+  whole->SortCanonically();
+  const uint64_t whole_hash = bench::ResultHash(*whole);
+  std::printf("smoke: unsharded    result-hash %016llx\n",
+              static_cast<unsigned long long>(whole_hash));
+  for (size_t shards : {2u, 3u, 5u}) {
+    mining::FrequentItemsetResult merged;
+    for (size_t k = 0; k < shards; ++k) {
+      mining::MiningOptions options = base;
+      options.shard_index = k;
+      options.shard_count = shards;
+      auto part = mining::FpGrowth(options).Mine(db);
+      MARAS_CHECK(part.ok()) << part.status().ToString();
+      merged.Absorb(std::move(part).value());
+    }
+    merged.SortCanonically();
+    const uint64_t hash = bench::ResultHash(merged);
+    std::printf("smoke: %zu-sharded    result-hash %016llx\n", shards,
+                static_cast<unsigned long long>(hash));
+    if (hash != whole_hash) ok = false;
+  }
+  if (!ok) std::fprintf(stderr, "smoke: RESULT HASH MISMATCH\n");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maras::bench::BenchMainOptions options =
+      maras::bench::ParseBenchArgs(argc, argv, "BENCH_checkpoint.json");
+  if (options.smoke) return RunSmoke() ? 0 : 1;
+  return maras::bench::RunBenchmarksToJson(std::move(options),
+                                           "bench_checkpoint");
 }

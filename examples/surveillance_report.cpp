@@ -6,7 +6,7 @@
 //
 //   $ ./examples/surveillance_report <output-dir> [reports=12000] [seed=20140101]
 //       [--deadline-ms=N] [--memory-budget-mb=N]
-//       [--checkpoint-dir=DIR] [--resume]
+//       [--checkpoint-dir=DIR] [--resume] [--workers=N]
 //
 // Writes: report.md, analysis.json, trend_*.svg, top_glyph.svg
 //
@@ -15,6 +15,13 @@
 // runaway run cooperatively (exit code 3) instead of hanging or OOMing,
 // --checkpoint-dir snapshots each completed stage atomically, and --resume
 // replays validated snapshots so an interrupted run picks up where it died.
+//
+// --workers=N (requires --checkpoint-dir) runs the crash-tolerant
+// multi-process path instead: the shard supervisor spawns this same binary
+// as worker processes (one per quarter, then N item-range mine shards; the
+// --shard= flag marks a worker invocation), retries crashed or hung
+// workers with deterministic backoff, and merges the checkpointed partials
+// into the byte-identical single-process result.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,12 +34,14 @@
 #include "core/multi_quarter.h"
 #include "core/report_generator.h"
 #include "core/severity.h"
+#include "core/shard_supervisor.h"
 #include "faers/generator.h"
 #include "faers/preprocess.h"
 #include "util/delimited.h"
 #include "util/logging.h"
 #include "util/run_context.h"
 #include "util/string_util.h"
+#include "util/subprocess.h"
 #include "viz/glyph.h"
 #include "viz/linechart.h"
 
@@ -65,10 +74,14 @@ struct CliFlags {
   size_t memory_budget_mb = 0;   // 0 = no budget
   std::string checkpoint_dir;
   bool resume = false;
+  size_t workers = 1;            // > 1 = multi-process shard supervisor
+  std::string shard;             // non-empty = this process is a worker
+  std::string chaos_exit;        // worker fault injection (tests)
+  std::string chaos_hang;
 
   bool governed() const {
     return deadline_ms > 0 || memory_budget_mb > 0 ||
-           !checkpoint_dir.empty();
+           !checkpoint_dir.empty() || workers > 1;
   }
 };
 
@@ -90,13 +103,29 @@ bool ParseFlag(const std::string& arg, CliFlags* flags) {
     flags->resume = true;
     return true;
   }
+  if (arg.rfind("--workers=", 0) == 0) {
+    flags->workers = static_cast<size_t>(std::atoll(arg.c_str() + 10));
+    return true;
+  }
+  if (arg.rfind("--shard=", 0) == 0) {
+    flags->shard = arg.substr(8);
+    return true;
+  }
+  if (arg.rfind("--chaos-exit=", 0) == 0) {
+    flags->chaos_exit = arg.substr(13);
+    return true;
+  }
+  if (arg.rfind("--chaos-hang=", 0) == 0) {
+    flags->chaos_hang = arg.substr(13);
+    return true;
+  }
   return false;
 }
 
-// The governed path: pooled multi-quarter analysis through the
-// checkpointed, resource-governed pipeline. Returns the process exit code.
-int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
-                const CliFlags& flags) {
+// The year's four synthetic quarters — workers rebuild exactly this corpus
+// from the same (reports, seed) coordinates, so parent and child agree on
+// every input byte without shipping data over a pipe.
+std::vector<faers::QuarterDataset> BuildYear(size_t reports, uint64_t seed) {
   std::vector<faers::QuarterDataset> quarters;
   for (int q = 1; q <= 4; ++q) {
     faers::SyntheticGenerator generator(QuarterConfig(q, reports, seed));
@@ -104,6 +133,55 @@ int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
     MARAS_CHECK(dataset.ok()) << dataset.status().ToString();
     quarters.push_back(*std::move(dataset));
   }
+  return quarters;
+}
+
+// Analyzer knobs shared by the single-process, supervisor, and worker
+// paths; any drift here would break cross-mode byte-identity.
+core::AnalyzerOptions MakeAnalyzerOptions(size_t reports, bool budgeted) {
+  core::AnalyzerOptions analyzer;
+  analyzer.mining.min_support = std::max<size_t>(6, reports / 4000);
+  analyzer.mining.max_itemset_size = 7;
+  // Under a budget, degrade (raise min_support, tag truncated) rather
+  // than fail: a coarser report beats no report for a safety evaluator.
+  analyzer.degradation.enabled = budgeted;
+  return analyzer;
+}
+
+// A --shard= worker invocation: execute one shard, publish its checkpoint,
+// exit. Spawned by the supervisor with this binary's own path.
+int RunWorker(size_t reports, uint64_t seed, const CliFlags& flags) {
+  auto spec = core::ParseShardArg(flags.shard);
+  if (!spec.ok() || flags.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "bad worker invocation: %s\n",
+                 spec.ok() ? "--checkpoint-dir is required"
+                           : spec.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<faers::QuarterDataset> quarters = BuildYear(reports, seed);
+  core::ShardWorkerConfig config;
+  config.spec = *std::move(spec);
+  config.checkpoint_dir = flags.checkpoint_dir;
+  config.quarters = &quarters;
+  config.analyzer = MakeAnalyzerOptions(reports, /*budgeted=*/false);
+  config.chaos.exit_at = flags.chaos_exit;
+  config.chaos.hang_at = flags.chaos_hang;
+  maras::Status status = core::RunShardWorker(config);
+  if (!status.ok()) {
+    std::fprintf(stderr, "shard worker failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// The governed path: pooled multi-quarter analysis through the
+// checkpointed, resource-governed pipeline — in-process by default, via
+// the multi-process shard supervisor with --workers=N. Returns the
+// process exit code.
+int RunGoverned(const std::string& argv0, const std::string& out_dir,
+                size_t reports, uint64_t seed, const CliFlags& flags) {
+  std::vector<faers::QuarterDataset> quarters = BuildYear(reports, seed);
 
   CancellationToken cancel;
   MemoryBudget budget(flags.memory_budget_mb << 20);
@@ -119,15 +197,30 @@ int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
   pipeline_options.checkpoint_dir = flags.checkpoint_dir;
   pipeline_options.resume = flags.resume;
 
-  core::AnalyzerOptions analyzer;
-  analyzer.mining.min_support = std::max<size_t>(6, reports / 4000);
-  analyzer.mining.max_itemset_size = 7;
-  // Under a budget, degrade (raise min_support, tag truncated) rather
-  // than fail: a coarser report beats no report for a safety evaluator.
-  analyzer.degradation.enabled = ctx.budget != nullptr;
+  core::AnalyzerOptions analyzer =
+      MakeAnalyzerOptions(reports, ctx.budget != nullptr);
 
-  core::MultiQuarterPipeline pipeline(pipeline_options);
-  auto analysis = pipeline.RunAnalyzed(quarters, analyzer);
+  core::ShardRunReport shard_report;
+  auto analysis = [&]() -> maras::StatusOr<core::SurveillanceAnalysis> {
+    if (flags.workers <= 1) {
+      core::MultiQuarterPipeline pipeline(pipeline_options);
+      return pipeline.RunAnalyzed(quarters, analyzer);
+    }
+    if (flags.checkpoint_dir.empty()) {
+      return maras::Status::InvalidArgument(
+          "--workers requires --checkpoint-dir (checkpoints are the "
+          "worker/supervisor channel)");
+    }
+    core::ShardSupervisorOptions supervisor_options;
+    supervisor_options.workers = flags.workers;
+    supervisor_options.worker_command = {
+        CurrentExecutablePath(argv0), out_dir, std::to_string(reports),
+        std::to_string(seed), "--checkpoint-dir=" + flags.checkpoint_dir};
+    core::ShardSupervisor supervisor(supervisor_options);
+    return supervisor.RunAnalyzed(quarters, pipeline_options, analyzer,
+                                  core::RankingMethod::kExclusivenessConfidence,
+                                  &shard_report);
+  }();
   if (!analysis.ok()) {
     const maras::Status& status = analysis.status();
     std::fprintf(stderr, "surveillance run stopped: %s\n",
@@ -148,6 +241,15 @@ int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
   if (analysis->stages_resumed > 0) {
     std::printf("resumed %zu stage(s) from %s\n", analysis->stages_resumed,
                 flags.checkpoint_dir.c_str());
+  }
+  if (flags.workers > 1) {
+    std::printf("sharded across %zu workers: %zu shards, %zu attempts, "
+                "%zu retries, %zu quarantined\n",
+                flags.workers, shard_report.shards, shard_report.attempts,
+                shard_report.retries, shard_report.quarantined);
+    for (const std::string& note : shard_report.notes) {
+      std::printf("shard note: %s\n", note.c_str());
+    }
   }
   for (const std::string& note : analysis->notes) {
     std::printf("note: %s\n", note.c_str());
@@ -179,6 +281,9 @@ int RunGoverned(const std::string& out_dir, size_t reports, uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A worker whose supervisor died mid-read must see EPIPE as a Status,
+  // not die on SIGPIPE — and vice versa for the supervisor's pipe writes.
+  IgnoreSigpipeProcessWide();
   CliFlags flags;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -188,7 +293,8 @@ int main(int argc, char** argv) {
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: %s <output-dir> [reports] [seed] [--deadline-ms=N] "
-                 "[--memory-budget-mb=N] [--checkpoint-dir=DIR] [--resume]\n",
+                 "[--memory-budget-mb=N] [--checkpoint-dir=DIR] [--resume] "
+                 "[--workers=N]\n",
                  argv[0]);
     return 2;
   }
@@ -202,7 +308,10 @@ int main(int argc, char** argv) {
           ? std::strtoull(positional[2].c_str(), nullptr, 10)
           : 20140101;
 
-  if (flags.governed()) return RunGoverned(out_dir, reports, seed, flags);
+  if (!flags.shard.empty()) return RunWorker(reports, seed, flags);
+  if (flags.governed()) {
+    return RunGoverned(argv[0], out_dir, reports, seed, flags);
+  }
 
   // Load the year; the report focuses on the latest quarter (Q4).
   std::vector<faers::PreprocessResult> year;

@@ -16,7 +16,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size == 0) return 0;
   const std::string_view payload(reinterpret_cast<const char*>(data) + 1,
                                  size - 1);
-  switch (data[0] % 6) {
+  switch (data[0] % 7) {
     case 0: {
       auto v = maras::core::DecodePreprocessResult(payload);
       if (v.ok()) maras::core::EncodePreprocessResult(*v);
@@ -42,9 +42,14 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       if (v.ok()) maras::core::EncodeRules(*v);
       break;
     }
-    default: {
+    case 5: {
       auto v = maras::core::DecodeRankedMcacs(payload);
       if (v.ok()) maras::core::EncodeRankedMcacs(*v);
+      break;
+    }
+    default: {
+      auto v = maras::core::DecodeMineShardCheckpoint(payload);
+      if (v.ok()) maras::core::EncodeMineShardCheckpoint(*v);
       break;
     }
   }

@@ -1,0 +1,124 @@
+#include "core/analysis_stages.h"
+
+#include <optional>
+#include <utility>
+
+#include "mining/closed_itemsets.h"
+#include "mining/rules.h"
+#include "util/run_context.h"
+#include "util/thread_pool.h"
+
+namespace maras::core {
+
+namespace {
+
+// Counts drug/ADR items of `itemset` under the merged vocabulary.
+void CountItemDomains(const mining::Itemset& itemset,
+                      const mining::ItemDictionary& items, size_t* drugs,
+                      size_t* adrs) {
+  *drugs = 0;
+  *adrs = 0;
+  for (mining::ItemId id : itemset) {
+    if (items.Domain(id) == mining::ItemDomain::kDrug) {
+      ++*drugs;
+    } else {
+      ++*adrs;
+    }
+  }
+}
+
+}  // namespace
+
+maras::StatusOr<ClosedCheckpoint> BuildClosedStage(
+    GovernedMineResult mined, const mining::ItemDictionary& items,
+    const AnalyzerOptions& analyzer, const RunContext& ctx) {
+  ClosedCheckpoint closed_stage;
+  closed_stage.min_support_used = mined.min_support_used;
+  closed_stage.truncated = mined.truncated;
+  closed_stage.notes = std::move(mined.notes);
+  MARAS_ASSIGN_OR_RETURN(
+      mining::RuleSpaceCount rule_count,
+      mining::CountAllPartitionRules(mined.frequent, analyzer.min_confidence,
+                                     ctx));
+  closed_stage.stats.total_rules = rule_count.total_rules;
+  for (const mining::FrequentItemset& fi : mined.frequent.itemsets()) {
+    size_t drugs = 0, adrs = 0;
+    CountItemDomains(fi.items, items, &drugs, &adrs);
+    if (drugs >= 1 && adrs >= 1) ++closed_stage.stats.filtered_rules;
+  }
+  MARAS_ASSIGN_OR_RETURN(
+      closed_stage.closed,
+      mining::FilterClosed(mined.frequent, analyzer.mining.num_threads, ctx));
+  for (const mining::FrequentItemset& fi : closed_stage.closed.itemsets()) {
+    size_t drugs = 0, adrs = 0;
+    CountItemDomains(fi.items, items, &drugs, &adrs);
+    if (drugs >= 1 && adrs >= 1) ++closed_stage.stats.closed_mixed;
+  }
+  return closed_stage;
+}
+
+maras::StatusOr<std::vector<DrugAdrRule>> BuildRulesStage(
+    const mining::FrequentItemsetResult& closed,
+    const mining::ItemDictionary& items,
+    const mining::TransactionDatabase& db, const AnalyzerOptions& analyzer,
+    const RunContext& ctx) {
+  std::vector<const mining::FrequentItemset*> candidates;
+  for (const mining::FrequentItemset& fi : closed.itemsets()) {
+    size_t drugs = 0, adrs = 0;
+    CountItemDomains(fi.items, items, &drugs, &adrs);
+    if (drugs < 2 || adrs < 1) continue;
+    if (drugs > analyzer.max_drugs_per_rule) continue;
+    candidates.push_back(&fi);
+  }
+  std::vector<std::optional<DrugAdrRule>> built(candidates.size());
+  std::vector<maras::Status> errors(candidates.size());
+  maras::Status status = maras::TryParallelFor(
+      analyzer.mining.num_threads, candidates.size(), ctx,
+      [&](size_t i) -> maras::Status {
+        const mining::FrequentItemset& fi = *candidates[i];
+        if (analyzer.verify_closed_in_db &&
+            !mining::IsClosedInDatabase(db, fi.items)) {
+          return maras::Status::OK();
+        }
+        maras::StatusOr<DrugAdrRule> target = BuildRule(fi.items, items, db);
+        if (!target.ok()) {
+          errors[i] = target.status();
+          return maras::Status::OK();
+        }
+        if (target->confidence >= analyzer.min_confidence) {
+          built[i] = *std::move(target);
+        }
+        return maras::Status::OK();
+      });
+  if (!status.ok()) return maras::WithContext(status, "rule-gen");
+  std::vector<DrugAdrRule> rules;
+  for (size_t i = 0; i < built.size(); ++i) {
+    MARAS_RETURN_IF_ERROR(errors[i]);
+    if (built[i].has_value()) rules.push_back(*std::move(built[i]));
+  }
+  return rules;
+}
+
+maras::StatusOr<std::vector<RankedMcac>> BuildRankedStage(
+    const std::vector<DrugAdrRule>& rules,
+    const mining::ItemDictionary& items,
+    const mining::TransactionDatabase& db, RankingMethod method,
+    const AnalyzerOptions& analyzer, const RunContext& ctx) {
+  McacBuilder builder(&items, &db);
+  std::vector<std::optional<maras::StatusOr<Mcac>>> built(rules.size());
+  maras::Status status = maras::TryParallelFor(
+      analyzer.mining.num_threads, rules.size(), ctx,
+      [&](size_t i) -> maras::Status {
+        built[i].emplace(builder.Build(rules[i]));
+        return maras::Status::OK();
+      });
+  if (!status.ok()) return maras::WithContext(status, "mcac-build");
+  std::vector<Mcac> mcacs;
+  for (std::optional<maras::StatusOr<Mcac>>& slot : built) {
+    MARAS_ASSIGN_OR_RETURN(Mcac mcac, std::move(*slot));
+    mcacs.push_back(std::move(mcac));
+  }
+  return RankMcacs(mcacs, method, analyzer.exclusiveness);
+}
+
+}  // namespace maras::core

@@ -1,0 +1,47 @@
+#ifndef MARAS_CORE_ANALYSIS_STAGES_H_
+#define MARAS_CORE_ANALYSIS_STAGES_H_
+
+#include <vector>
+
+#include "core/checkpoint.h"
+
+namespace maras::core {
+
+// ---------------------------------------------------------------------------
+// The post-mining analysis stages of RunAnalyzed, extracted as free
+// functions so every execution mode — single-process, resumed-from-
+// checkpoint, and the multi-process shard supervisor — runs the *same*
+// code on the merged corpus. Byte-identity across modes then holds by
+// construction: once the frequent family entering BuildClosedStage is
+// equal, every downstream artifact is equal.
+//
+// Each function is deterministic for fixed inputs at any thread count
+// (fan-outs write disjoint slots and reduce in input order) and polls
+// `ctx` cooperatively like the rest of the pipeline.
+// ---------------------------------------------------------------------------
+
+// Stage 2 tail: turns a completed (possibly degraded) mine into the closed
+// stage snapshot — rule-space statistics over the pre-filter family, then
+// the closed-set filter. Consumes `mined` (the frequent family is only
+// needed transiently).
+maras::StatusOr<ClosedCheckpoint> BuildClosedStage(
+    GovernedMineResult mined, const mining::ItemDictionary& items,
+    const AnalyzerOptions& analyzer, const RunContext& ctx);
+
+// Stage 3: multi-drug target rule generation from the closed family.
+maras::StatusOr<std::vector<DrugAdrRule>> BuildRulesStage(
+    const mining::FrequentItemsetResult& closed,
+    const mining::ItemDictionary& items,
+    const mining::TransactionDatabase& db, const AnalyzerOptions& analyzer,
+    const RunContext& ctx);
+
+// Stage 4: MCAC construction + contextual ranking for the target rules.
+maras::StatusOr<std::vector<RankedMcac>> BuildRankedStage(
+    const std::vector<DrugAdrRule>& rules,
+    const mining::ItemDictionary& items,
+    const mining::TransactionDatabase& db, RankingMethod method,
+    const AnalyzerOptions& analyzer, const RunContext& ctx);
+
+}  // namespace maras::core
+
+#endif  // MARAS_CORE_ANALYSIS_STAGES_H_

@@ -444,6 +444,36 @@ maras::StatusOr<ClosedCheckpoint> DecodeClosedCheckpoint(
   return closed;
 }
 
+std::string EncodeMineShardCheckpoint(const MineShardCheckpoint& shard) {
+  BinaryWriter w;
+  w.U64(shard.shard_index);
+  w.U64(shard.shard_count);
+  w.U64(shard.min_support);
+  w.U64(shard.max_itemset_size);
+  w.Str(EncodeItemsetResult(shard.frequent));
+  return std::move(w.Take());
+}
+
+maras::StatusOr<MineShardCheckpoint> DecodeMineShardCheckpoint(
+    std::string_view payload) {
+  BinaryReader r(payload);
+  MineShardCheckpoint shard;
+  MARAS_RETURN_IF_ERROR(r.U64(&shard.shard_index));
+  MARAS_RETURN_IF_ERROR(r.U64(&shard.shard_count));
+  MARAS_RETURN_IF_ERROR(r.U64(&shard.min_support));
+  MARAS_RETURN_IF_ERROR(r.U64(&shard.max_itemset_size));
+  if (shard.shard_count == 0 || shard.shard_index >= shard.shard_count) {
+    return maras::Status::Corruption(
+        "bad shard coordinates " + std::to_string(shard.shard_index) + "/" +
+        std::to_string(shard.shard_count));
+  }
+  std::string nested;
+  MARAS_RETURN_IF_ERROR(r.Str(&nested));
+  MARAS_ASSIGN_OR_RETURN(shard.frequent, DecodeItemsetResult(nested));
+  MARAS_RETURN_IF_ERROR(RequireExhausted(r));
+  return shard;
+}
+
 std::string EncodeRules(const std::vector<DrugAdrRule>& rules) {
   BinaryWriter w;
   w.U64(rules.size());

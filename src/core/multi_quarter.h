@@ -186,11 +186,14 @@ class MultiQuarterPipeline {
 
   const MultiQuarterOptions& options() const { return options_; }
 
- private:
-  // Validation + dedup + preprocess for one readable quarter.
+  // Validation + dedup + preprocess for one readable quarter. Public so a
+  // shard worker process (core/shard_supervisor.h) can run exactly this
+  // code on its assigned quarter — byte-identity across execution modes
+  // depends on both paths sharing one implementation.
   maras::StatusOr<faers::PreprocessResult> ProcessQuarter(
       const faers::QuarterDataset& dataset, QuarterOutcome* outcome) const;
 
+ private:
   MultiQuarterOptions options_;
 };
 

@@ -9,6 +9,11 @@ maras::StatusOr<FrequentItemsetResult> Eclat::Mine(
   if (options_.min_support == 0) {
     return maras::Status::InvalidArgument("min_support must be >= 1");
   }
+  if (options_.shard_count != 1 || options_.shard_index != 0) {
+    return maras::Status::InvalidArgument(
+        "eclat is a serial cross-check baseline; sharding is FP-Growth"
+        " only");
+  }
   FrequentItemsetResult result;
   // Root equivalence class: one vertical entry per frequent item, in
   // ascending item order so emitted itemsets are canonically sorted.

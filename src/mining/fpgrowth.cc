@@ -114,6 +114,11 @@ maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
   if (options_.min_support == 0) {
     return maras::Status::InvalidArgument("min_support must be >= 1");
   }
+  if (options_.shard_count == 0 ||
+      options_.shard_index >= options_.shard_count) {
+    return maras::Status::InvalidArgument(
+        "shard_index must be < shard_count (>= 1)");
+  }
   const RunContext* ctx = options_.context;
   FrequentItemsetResult result;
   const FpTree tree = FpTree::Build(db, options_.min_support);
@@ -130,12 +135,30 @@ maras::StatusOr<FrequentItemsetResult> FpGrowth::Mine(
     if (!status.ok()) return maras::WithContext(status, "fp-growth");
     arena_charged += bytes;
   }
-  const std::vector<ItemId> items = tree.ItemsBySupportAscending();
+  // The shard stride applies to the *global* support-ascending order, so
+  // every shard agrees on which index each item holds regardless of how
+  // many items its own slice keeps.
+  std::vector<ItemId> items = tree.ItemsBySupportAscending();
+  if (options_.shard_count > 1) {
+    std::vector<ItemId> mine_items;
+    mine_items.reserve(items.size() / options_.shard_count + 1);
+    for (size_t i = options_.shard_index; i < items.size();
+         i += options_.shard_count) {
+      mine_items.push_back(items[i]);
+    }
+    items = std::move(mine_items);
+  }
   const size_t workers = EffectiveThreads(options_.num_threads, items.size());
   size_t charged = 0;
   if (workers <= 1) {
+    // Loop the (possibly shard-filtered) top-level items directly; each
+    // MineItem call recurses through MineTree for its conditional trees.
     MineScratch scratch(tree);
-    status = MineTree(tree, /*depth=*/0, &scratch, &result, &charged);
+    status = maras::Status::OK();
+    for (ItemId item : items) {
+      status = MineItem(tree, item, /*depth=*/0, &scratch, &result, &charged);
+      if (!status.ok()) break;
+    }
     arena_charged += scratch.arena_charged;
   } else {
     // Fan out one task per top-level item. Tasks only read the shared tree

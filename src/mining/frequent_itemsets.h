@@ -77,6 +77,19 @@ struct MiningOptions {
   // suite asserts it — so this is purely a speed knob. Apriori and Eclat
   // ignore it (they are the cross-check baselines, kept serial).
   size_t num_threads = 1;
+  // Multi-process item-range sharding of FP-Growth's top-level fan-out:
+  // mine only the top-level items whose index i — in the global tree's
+  // support-ascending header order — satisfies i % shard_count ==
+  // shard_index. FP-Growth emits every frequent itemset exactly once, in
+  // the task of its least frequent item, so the shards partition the full
+  // family: concatenating all shard_count results and sorting canonically
+  // reconstructs the unsharded mine byte for byte. The stride (rather than
+  // a contiguous range) balances load — neighbors in support order have
+  // similar conditional-tree sizes. shard_count == 1 (with shard_index 0)
+  // means unsharded; Apriori and Eclat reject sharding (they are the
+  // serial cross-check baselines).
+  size_t shard_index = 0;
+  size_t shard_count = 1;
   // Optional resource governance (util/run_context.h). When set, FP-Growth
   // polls it once per conditional-tree step and charges its memory budget
   // for every itemset recorded, so a runaway low-support mine stops with

@@ -56,6 +56,10 @@ RULES = {
         ".value() chained directly onto a call result (an unchecked "
         "temporary; bind the StatusOr, test ok(), then consume with "
         "std::move(x).value())",
+    "no-raw-subprocess":
+        "raw fork/exec*/system/popen outside src/util/subprocess.* (spawn "
+        "through ChildProcess so EINTR/SIGPIPE/zombie hygiene is audited "
+        "in one place)",
 }
 
 # Mining files that are on the hot path and must use flat tables. The
@@ -76,6 +80,10 @@ MINING_HOT_FILES = {
 # Files allowed to spell raw new/delete: the counting global allocator
 # must call the real allocation primitives.
 NEW_DELETE_ALLOWED = {"bench/alloc_counter.cc", "bench/alloc_counter.h"}
+
+# The one sanctioned home of raw process-control syscalls. Everyone else
+# spawns through ChildProcess (util/subprocess.h).
+SUBPROCESS_ALLOWED = {"src/util/subprocess.cc", "src/util/subprocess.h"}
 
 SCAN_ROOTS = ("src", "tests", "bench", "examples", "fuzz", "tools")
 EXCLUDE_PARTS = ("tools/lint/testdata",)
@@ -368,6 +376,26 @@ def rule_statusor_unchecked_deref(relpath, text, stripped):
                "StatusOr, branch on ok(), then std::move(x).value()")
 
 
+_RAW_SUBPROCESS_RE = re.compile(
+    r"\b(fork|vfork|execl|execlp|execle|execv|execvp|execvpe|execve|"
+    r"system|popen|posix_spawn|posix_spawnp)\s*\(")
+
+
+def rule_no_raw_subprocess(relpath, text, stripped):
+    rel = relpath.replace(os.sep, "/")
+    if rel in SUBPROCESS_ALLOWED:
+        return
+    for m in _RAW_SUBPROCESS_RE.finditer(stripped):
+        # Member calls like `machine.fork(...)` are not the libc syscall.
+        head = stripped[:m.start()].rstrip()
+        if head.endswith((".", "->")):
+            continue
+        yield (line_of(stripped, m.start()),
+               f"raw {m.group(1)}() call; process plumbing lives in "
+               "util/subprocess.h (ChildProcess::Spawn) so EINTR, SIGPIPE "
+               "and zombie handling are audited once")
+
+
 RULE_FUNCS = {
     "mining-flat-containers": rule_mining_flat_containers,
     "no-raw-new-delete": rule_no_raw_new_delete,
@@ -375,6 +403,7 @@ RULE_FUNCS = {
     "header-guard": rule_header_guard,
     "no-using-namespace-header": rule_no_using_namespace_header,
     "statusor-unchecked-deref": rule_statusor_unchecked_deref,
+    "no-raw-subprocess": rule_no_raw_subprocess,
 }
 
 assert set(RULE_FUNCS) == set(RULES)

@@ -72,6 +72,13 @@ class RuleFixtureTest(unittest.TestCase):
         self.assert_fires("statusor-unchecked-deref")
         self.assert_quiet("statusor-unchecked-deref")
 
+    def test_no_raw_subprocess(self):
+        # fork, execvp, system, popen — all four must fire in the bad tree;
+        # the good tree proves the src/util/subprocess.* exemption, the
+        # member-call escape, and comment/string stripping.
+        self.assert_fires("no-raw-subprocess", extra_expected=4)
+        self.assert_quiet("no-raw-subprocess")
+
     def test_good_fixtures_clean_under_all_rules(self):
         # Cross-rule quiet check: a good fixture for one rule must not trip
         # another rule by accident.

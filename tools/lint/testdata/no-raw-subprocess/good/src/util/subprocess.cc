@@ -1,0 +1,11 @@
+// Fixture: the sanctioned wrapper file is exempt — raw syscalls here are
+// exactly where they belong.
+#include <unistd.h>
+
+int SpawnInsideTheWrapper(const char* path) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    execvp(path, nullptr);
+  }
+  return static_cast<int>(pid);
+}
