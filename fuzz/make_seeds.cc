@@ -5,7 +5,8 @@
 // JSON parser. Starting from valid inputs puts mutations on the boundary
 // between accept and reject, where parser bugs live.
 //
-// Usage: make_seeds <output-dir>   (creates <output-dir>/{ascii,checkpoint,json})
+// Usage: make_seeds <output-dir>
+//        (creates <output-dir>/{ascii,checkpoint,json,bitmap})
 
 #include <cstdio>
 #include <filesystem>
@@ -43,7 +44,7 @@ std::string WithSelector(unsigned char selector, const std::string& payload) {
 maras::Status Generate(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  for (const char* sub : {"ascii", "checkpoint", "json"}) {
+  for (const char* sub : {"ascii", "checkpoint", "json", "bitmap"}) {
     fs::create_directories(root / sub, ec);
     if (ec) {
       return maras::Status::IOError("cannot create " +
@@ -176,6 +177,35 @@ maras::Status Generate(const std::filesystem::path& root) {
       R"({"escape":"a\"b\\c\/dé\n","empty":{},"arr":[[],[null]],)"
       R"("nums":[0,-1,3.5,1e10,2.2250738585072014e-308,17179869184]})"));
   MARAS_RETURN_IF_ERROR(WriteFile(root / "json" / "scalar.json", "true"));
+
+  // --- bitmap: kernel-harness inputs ---------------------------------------
+  // Layout (see fuzz_bitmap_kernels.cc): [policy][universe lo][universe hi]
+  // [split][delta stream A | delta stream B]. Seeds pin the shapes the
+  // kernels special-case: dense runs, skewed sparse lists, and an exact
+  // one-word universe.
+  const auto bitmap_seed = [](unsigned char policy, uint16_t universe,
+                              unsigned char split, std::string deltas) {
+    std::string out;
+    out.push_back(static_cast<char>(policy));
+    out.push_back(static_cast<char>(universe & 0xFF));
+    out.push_back(static_cast<char>(universe >> 8));
+    out.push_back(static_cast<char>(split));
+    out += deltas;
+    return out;
+  };
+  // Two dense runs of consecutive tids over a 200-wide universe.
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "bitmap" / "dense.bin",
+                                  bitmap_seed(0, 200, 128,
+                                              std::string(120, '\0'))));
+  // Skewed: a short stride-200 list against a long stride-4 list.
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "bitmap" / "skew.bin",
+      bitmap_seed(2, 8000, 20, std::string(15, '\xC8') +
+                                   std::string(180, '\x03'))));
+  // Exactly one word: every tid sits in the single (full) trailing word.
+  MARAS_RETURN_IF_ERROR(WriteFile(root / "bitmap" / "word64.bin",
+                                  bitmap_seed(1, 64, 100,
+                                              std::string(80, '\0'))));
   return maras::Status::OK();
 }
 

@@ -310,6 +310,16 @@ maras::StatusOr<faers::PreprocessResult> DecodePreprocessResult(
   for (uint64_t t = 0; t < transactions; ++t) {
     mining::Itemset itemset;
     MARAS_RETURN_IF_ERROR(DecodeItemset(&r, &itemset));
+    // Every id must resolve in the dictionary decoded above: the database's
+    // vertical index is ItemId-addressed, so an out-of-dictionary id is
+    // corruption (and would otherwise size the index by the forged id).
+    for (mining::ItemId id : itemset) {
+      if (static_cast<uint64_t>(id) >= items) {
+        return maras::Status::Corruption("transaction item id " +
+                                         std::to_string(id) +
+                                         " outside dictionary");
+      }
+    }
     // Stored transactions are sorted and deduplicated, so Add reproduces
     // them byte-identically.
     result.transactions.Add(std::move(itemset));

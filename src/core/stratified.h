@@ -7,6 +7,7 @@
 #include "core/disproportionality.h"
 #include "core/drug_adr_rule.h"
 #include "faers/preprocess.h"
+#include "mining/bitmap.h"
 
 namespace maras::core {
 
@@ -48,8 +49,16 @@ class StratifiedAnalyzer {
                      const std::vector<faers::CaseDemographics>* demographics);
 
   // The per-stratum 2×2 tables of `rule` (only strata with at least one
-  // report are returned, ordered by sex then age band).
+  // report are returned, ordered by sex then age band). Production path:
+  // the rule's drug/ADR report sets become TidBitmaps once, then every
+  // stratum's three cells fall out of AND/AND3+popcount kernels against the
+  // prebuilt stratum bitmaps (mining/bitmap.h) — no per-stratum merges.
   std::vector<StratumTable> Tables(const DrugAdrRule& rule) const;
+
+  // Reference implementation of Tables via scalar sorted-merge counting.
+  // Kept as the differential oracle: core_stratified_test asserts the two
+  // paths produce identical tables on every rule it generates.
+  std::vector<StratumTable> TablesScalar(const DrugAdrRule& rule) const;
 
   // Crude (unstratified) reporting odds ratio, for contrast.
   double CrudeRor(const DrugAdrRule& rule) const;
@@ -86,6 +95,9 @@ class StratifiedAnalyzer {
   const std::vector<faers::CaseDemographics>* demographics_;
   // Sorted transaction ids per stratum, built once.
   std::vector<std::vector<mining::TransactionId>> stratum_tids_;
+  // The same strata as dense bitmaps over [0, db->size()), for the kernel
+  // counting path. Built once alongside stratum_tids_.
+  std::vector<mining::TidBitmap> stratum_bitmaps_;
 };
 
 }  // namespace maras::core

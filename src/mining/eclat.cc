@@ -1,6 +1,9 @@
 #include "mining/eclat.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace maras::mining {
 
@@ -11,30 +14,93 @@ maras::StatusOr<FrequentItemsetResult> Eclat::Mine(
   }
   if (options_.shard_count != 1 || options_.shard_index != 0) {
     return maras::Status::InvalidArgument(
-        "eclat is a serial cross-check baseline; sharding is FP-Growth"
-        " only");
+        "eclat is a single-process cross-check baseline; sharding is"
+        " FP-Growth only");
   }
+
+  // Frequent items in ascending item order, so emitted itemsets are
+  // canonically sorted within each branch.
+  std::vector<ItemId> items;
+  for (size_t item = 0; item < db.item_bound(); ++item) {
+    if (db.ItemSupport(static_cast<ItemId>(item)) >= options_.min_support) {
+      items.push_back(static_cast<ItemId>(item));
+    }
+  }
+
   FrequentItemsetResult result;
-  // Root equivalence class: one vertical entry per frequent item, in
-  // ascending item order so emitted itemsets are canonically sorted.
-  std::vector<Vertical> root;
-  {
-    std::vector<ItemId> items;
-    for (const Itemset& t : db.transactions()) {
-      items.insert(items.end(), t.begin(), t.end());
-    }
-    std::sort(items.begin(), items.end());
-    items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (options_.eclat_mode == EclatMode::kScalar) {
+    // Reference engine: serial merge-intersection over tid-lists.
+    std::vector<Vertical> root;
+    root.reserve(items.size());
     for (ItemId item : items) {
-      const auto& tids = db.TidList(item);
-      if (tids.size() >= options_.min_support) {
-        root.push_back(Vertical{item, tids});
-      }
+      root.push_back(Vertical{item, db.TidList(item)});
+    }
+    MineClass({}, root, &result);
+    result.SortCanonically();
+    return result;
+  }
+
+  const size_t universe = db.size();
+  BitmapPolicy policy = BitmapPolicy::kAuto;
+  if (options_.eclat_mode == EclatMode::kDense) policy = BitmapPolicy::kDense;
+  if (options_.eclat_mode == EclatMode::kSparse) {
+    policy = BitmapPolicy::kSparse;
+  }
+
+  std::vector<VerticalSlice> root;
+  root.reserve(items.size());
+  for (ItemId item : items) {
+    root.push_back(VerticalSlice::Make(item, db.TidList(item), universe,
+                                       policy));
+  }
+
+  const size_t threads = EffectiveThreads(options_.num_threads, root.size());
+  if (threads <= 1) {
+    for (size_t i = 0; i < root.size(); ++i) {
+      MineBranch(i, root, {}, universe, policy, &result);
+    }
+  } else {
+    // One task per top-level item, each writing only its own slot; the
+    // merge walks slots in item order, so the pre-sort result sequence —
+    // and after SortCanonically the bytes — are independent of scheduling.
+    std::vector<FrequentItemsetResult> slots(root.size());
+    maras::ParallelFor(threads, root.size(), [&](size_t i) {
+      MineBranch(i, root, {}, universe, policy, &slots[i]);
+    });
+    for (FrequentItemsetResult& slot : slots) {
+      result.Absorb(std::move(slot));
     }
   }
-  MineClass({}, root, &result);
   result.SortCanonically();
   return result;
+}
+
+void Eclat::MineBranch(size_t i, const std::vector<VerticalSlice>& klass,
+                       const Itemset& prefix, size_t universe,
+                       BitmapPolicy policy,
+                       FrequentItemsetResult* result) const {
+  Itemset itemset = prefix;
+  itemset.push_back(klass[i].item);
+  result->Add(itemset, klass[i].support);
+  if (options_.max_itemset_size != 0 &&
+      itemset.size() >= options_.max_itemset_size) {
+    return;
+  }
+  // Child class: intersect with every later sibling. The kernel picks
+  // dense∧dense (word-wise AND+popcount), sparse∧sparse (galloping), or
+  // probe (mixed) per pair; the child's representation is re-chosen from
+  // its own density under the active policy.
+  std::vector<VerticalSlice> child;
+  for (size_t j = i + 1; j < klass.size(); ++j) {
+    VerticalSlice entry = IntersectSlices(klass[i], klass[j], universe,
+                                          policy);
+    if (entry.support >= options_.min_support) {
+      child.push_back(std::move(entry));
+    }
+  }
+  for (size_t c = 0; c < child.size(); ++c) {
+    MineBranch(c, child, itemset, universe, policy, result);
+  }
 }
 
 void Eclat::MineClass(const Itemset& prefix,

@@ -1,6 +1,7 @@
 #ifndef MARAS_MINING_ECLAT_H_
 #define MARAS_MINING_ECLAT_H_
 
+#include "mining/bitmap.h"
 #include "mining/frequent_itemsets.h"
 #include "mining/transaction_db.h"
 #include "util/statusor.h"
@@ -8,11 +9,22 @@
 namespace maras::mining {
 
 // ECLAT (Zaki): vertical-layout frequent-itemset mining by recursive
-// tid-list intersection over equivalence classes of a common prefix. The
-// third classic miner in the suite — Apriori (horizontal, level-wise),
-// FP-Growth (prefix-tree projection) and ECLAT (vertical) must produce
-// identical results; the benchmarks compare their cost profiles on
-// FAERS-shaped data.
+// tid-set intersection over equivalence classes of a common prefix.
+//
+// The production engine runs on the mining/bitmap.h kernel layer: each
+// class member carries its tid set as either a dense fixed-width bitmap
+// (word-wise AND + popcount support counting, SIMD-dispatched) or a sparse
+// sorted tid-list (galloping intersection), chosen per slice by support
+// density (MiningOptions::eclat_mode kAuto; kDense/kSparse force one
+// representation for tests and benches). With num_threads > 1 the root
+// equivalence class fans out across the thread pool — one task per
+// top-level item, each writing its own result slot, merged in item order —
+// so results are byte-identical at any thread count.
+//
+// EclatMode::kScalar keeps the original std::vector<Tid> +
+// std::set_intersection path as a serial reference: the differential
+// oracle pits the kernel engine against it (and against FP-Growth, Apriori
+// and brute force), so a kernel bug cannot slip through unnoticed.
 class Eclat {
  public:
   explicit Eclat(MiningOptions options) : options_(options) {}
@@ -26,8 +38,16 @@ class Eclat {
     std::vector<TransactionId> tids;
   };
 
+  // Legacy scalar engine (EclatMode::kScalar).
   void MineClass(const Itemset& prefix, const std::vector<Vertical>& klass,
                  FrequentItemsetResult* result) const;
+
+  // Bitmap engine: mines the branch rooted at klass[i] under `prefix` —
+  // emits prefix+item, builds the child class by intersecting slice i with
+  // every later sibling, and recurses.
+  void MineBranch(size_t i, const std::vector<VerticalSlice>& klass,
+                  const Itemset& prefix, size_t universe, BitmapPolicy policy,
+                  FrequentItemsetResult* result) const;
 
   MiningOptions options_;
 };

@@ -62,6 +62,18 @@ class FrequentItemsetResult {
   FlatItemsetIndex index_;  // entry i -> itemsets_[i].items
 };
 
+// Which engine + vertical representation Eclat::Mine uses. The bitmap
+// engine (first three modes) runs on mining/bitmap.h kernels; kScalar is
+// the original std::set_intersection path, kept as the differential
+// reference the oracle tests pit the kernels against. Every mode emits the
+// exact same canonical result — mining_differential_test proves it.
+enum class EclatMode {
+  kAuto = 0,  // per-slice density choice (dense bitmap vs sparse tid-list)
+  kDense,     // force dense bitmaps everywhere
+  kSparse,    // force sparse tid-lists (galloping intersection) everywhere
+  kScalar,    // legacy scalar merge-intersection reference
+};
+
 // Mining algorithm knobs shared by Apriori and FP-Growth.
 struct MiningOptions {
   // Absolute minimum support count (the paper mines with a very low support
@@ -72,11 +84,14 @@ struct MiningOptions {
   // synthetic data.
   size_t max_itemset_size = 0;
   // Worker threads for the parallelizable stages: FP-Growth's per-item
-  // conditional-tree fan-out and the closed-set filter. 0 and 1 both mean
-  // serial. Results are byte-identical for every value — the determinism
-  // suite asserts it — so this is purely a speed knob. Apriori and Eclat
-  // ignore it (they are the cross-check baselines, kept serial).
+  // conditional-tree fan-out, the closed-set filter, and bitmap-Eclat's
+  // root equivalence-class fan-out. 0 and 1 both mean serial. Results are
+  // byte-identical for every value — the determinism suite asserts it — so
+  // this is purely a speed knob. Apriori and scalar Eclat ignore it (they
+  // are the cross-check baselines, kept serial).
   size_t num_threads = 1;
+  // Engine/representation choice for Eclat (ignored by the other miners).
+  EclatMode eclat_mode = EclatMode::kAuto;
   // Multi-process item-range sharding of FP-Growth's top-level fan-out:
   // mine only the top-level items whose index i — in the global tree's
   // support-ascending header order — satisfies i % shard_count ==

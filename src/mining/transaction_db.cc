@@ -9,11 +9,13 @@ const std::vector<TransactionId> TransactionDatabase::kEmptyTidList = {};
 TransactionId TransactionDatabase::Add(Itemset transaction) {
   Itemset t = MakeItemset(std::move(transaction));
   TransactionId tid = static_cast<TransactionId>(transactions_.size());
+  if (!t.empty() && static_cast<size_t>(t.back()) >= tidlists_.size()) {
+    tidlists_.resize(static_cast<size_t>(t.back()) + 1);
+  }
   for (ItemId item : t) {
-    tidlists_[item].push_back(tid);  // tids are appended in order
-    if (static_cast<size_t>(item) + 1 > item_bound_) {
-      item_bound_ = static_cast<size_t>(item) + 1;
-    }
+    std::vector<TransactionId>& list = tidlists_[item];
+    if (list.empty()) ++distinct_items_;
+    list.push_back(tid);  // tids are appended in order
   }
   total_item_occurrences_ += t.size();
   transactions_.push_back(std::move(t));
@@ -60,14 +62,14 @@ std::vector<TransactionId> TransactionDatabase::ContainingTransactions(
 }
 
 size_t TransactionDatabase::ItemSupport(ItemId item) const {
-  auto it = tidlists_.find(item);
-  return it == tidlists_.end() ? 0 : it->second.size();
+  return static_cast<size_t>(item) < tidlists_.size() ? tidlists_[item].size()
+                                                      : 0;
 }
 
 const std::vector<TransactionId>& TransactionDatabase::TidList(
     ItemId item) const {
-  auto it = tidlists_.find(item);
-  return it == tidlists_.end() ? kEmptyTidList : it->second;
+  return static_cast<size_t>(item) < tidlists_.size() ? tidlists_[item]
+                                                      : kEmptyTidList;
 }
 
 }  // namespace maras::mining

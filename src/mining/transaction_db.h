@@ -2,7 +2,6 @@
 #define MARAS_MINING_TRANSACTION_DB_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mining/itemset.h"
@@ -16,7 +15,10 @@ using TransactionId = uint32_t;
 // horizontal layout it maintains a vertical index (item -> sorted tid list)
 // so the support of an arbitrary itemset can be counted exactly by tid-list
 // intersection — the paper's contextual rules need supports for antecedent
-// subsets that may fall below the mining threshold.
+// subsets that may fall below the mining threshold. The vertical index is a
+// flat ItemId-indexed array of tid lists (items are dense interned ids), so
+// a TidList lookup is one bounds check and one vector index — the access
+// every bitmap-Eclat root build and batched contingency pass starts from.
 class TransactionDatabase {
  public:
   TransactionDatabase() = default;
@@ -33,12 +35,12 @@ class TransactionDatabase {
   const std::vector<Itemset>& transactions() const { return transactions_; }
 
   // Number of distinct items seen.
-  size_t item_count() const { return tidlists_.size(); }
+  size_t item_count() const { return distinct_items_; }
 
   // One past the largest ItemId seen (0 when empty). Sizes the dense,
   // ItemId-indexed tables the mining engine uses (FP-tree headers and
   // conditional counts) without a scan.
-  size_t item_bound() const { return item_bound_; }
+  size_t item_bound() const { return tidlists_.size(); }
 
   // Total item occurrences across all transactions (Σ |t|). Upper-bounds
   // FP-tree node counts, so a build can bulk-reserve its arena.
@@ -59,8 +61,10 @@ class TransactionDatabase {
 
  private:
   std::vector<Itemset> transactions_;
-  std::unordered_map<ItemId, std::vector<TransactionId>> tidlists_;
-  size_t item_bound_ = 0;
+  // tidlists_[item] is item's sorted tid list; never-seen items within the
+  // bound hold an empty vector. size() doubles as item_bound().
+  std::vector<std::vector<TransactionId>> tidlists_;
+  size_t distinct_items_ = 0;
   size_t total_item_occurrences_ = 0;
   static const std::vector<TransactionId> kEmptyTidList;
 };

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "test_util.h"
+#include "util/random.h"
 
 namespace maras::core {
 namespace {
@@ -159,6 +162,80 @@ TEST(StratifiedTest, MissingDemographicsFallIntoUnknownStratum) {
   EXPECT_EQ(tables[0].sex, faers::Sex::kUnknown);
   EXPECT_EQ(tables[0].age_band, AgeBand::kUnknown);
   EXPECT_EQ(tables[0].table.a, 5u);
+}
+
+// --------------------------------------------------------------------------
+// Bitmap-kernel Tables vs the scalar merge reference, on a randomized
+// corpus spanning every stratum. Cell counts are exact on both paths, so
+// they must agree exactly — and everything pooled from them (MH, the
+// confounding flag) must be bit-identical at any thread count.
+// --------------------------------------------------------------------------
+
+StratCorpus RandomStratCorpus(maras::Rng* rng, int reports) {
+  StratCorpus built;
+  const double ages[] = {-1.0, 9.0, 40.0, 81.0};  // one per band
+  for (int r = 0; r < reports; ++r) {
+    maras::test::ReportSpec spec;
+    for (size_t i = 1 + rng->Uniform(3); i > 0; --i) {
+      spec.drugs.push_back("D" + std::to_string(rng->Uniform(12)));
+    }
+    for (size_t i = 1 + rng->Uniform(2); i > 0; --i) {
+      spec.adrs.push_back("A" + std::to_string(rng->Uniform(8)));
+    }
+    built.Add(spec, static_cast<faers::Sex>(rng->Uniform(3)),
+              ages[rng->Uniform(4)]);
+  }
+  return built;
+}
+
+TEST(StratifiedTest, BitmapTablesMatchScalarReference) {
+  maras::Rng rng(0x57247);
+  StratCorpus built = RandomStratCorpus(&rng, 500);
+  StratifiedAnalyzer analyzer(&built.corpus.db, &built.demographics);
+  for (int trial = 0; trial < 25; ++trial) {
+    DrugAdrRule rule = built.Rule(
+        {"D" + std::to_string(rng.Uniform(12))},
+        {"A" + std::to_string(rng.Uniform(8))});
+    if (trial % 3 == 0) {  // multi-drug rules stress the set intersection
+      rule.drugs = mining::Union(
+          rule.drugs, built.corpus.Drugs({"D" + std::to_string(
+                          rng.Uniform(12))}));
+    }
+    auto bitmap_tables = analyzer.Tables(rule);
+    auto scalar_tables = analyzer.TablesScalar(rule);
+    ASSERT_EQ(bitmap_tables.size(), scalar_tables.size()) << trial;
+    for (size_t s = 0; s < bitmap_tables.size(); ++s) {
+      EXPECT_EQ(bitmap_tables[s].sex, scalar_tables[s].sex);
+      EXPECT_EQ(bitmap_tables[s].age_band, scalar_tables[s].age_band);
+      EXPECT_EQ(bitmap_tables[s].table.a, scalar_tables[s].table.a) << trial;
+      EXPECT_EQ(bitmap_tables[s].table.b, scalar_tables[s].table.b) << trial;
+      EXPECT_EQ(bitmap_tables[s].table.c, scalar_tables[s].table.c) << trial;
+      EXPECT_EQ(bitmap_tables[s].table.d, scalar_tables[s].table.d) << trial;
+    }
+  }
+}
+
+TEST(StratifiedTest, BatchedPoolingIdenticalAcrossThreadCounts) {
+  maras::Rng rng(0x4D48);  // 'MH'
+  StratCorpus built = RandomStratCorpus(&rng, 400);
+  StratifiedAnalyzer analyzer(&built.corpus.db, &built.demographics);
+  std::vector<DrugAdrRule> rules;
+  for (int r = 0; r < 30; ++r) {
+    rules.push_back(built.Rule({"D" + std::to_string(rng.Uniform(12))},
+                               {"A" + std::to_string(rng.Uniform(8))}));
+  }
+  std::vector<double> serial = analyzer.MantelHaenszelRors(rules, 1);
+  std::vector<bool> confounded1 = analyzer.Confounded(rules, 1);
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(analyzer.MantelHaenszelRors(rules, threads), serial)
+        << threads << " threads";
+    EXPECT_EQ(analyzer.Confounded(rules, threads), confounded1)
+        << threads << " threads";
+  }
+  // And each pooled value equals the one-rule path exactly.
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(serial[i], analyzer.MantelHaenszelRor(rules[i])) << i;
+  }
 }
 
 }  // namespace

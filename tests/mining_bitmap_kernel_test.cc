@@ -1,0 +1,359 @@
+// Kernel-level differential tests for mining/bitmap.h. Every kernel —
+// popcount, AND, AND-NOT, AND3, galloping intersection, bitmap probe, and
+// the dense<->sparse conversions — is checked against a scalar oracle
+// (std::set_intersection / std::set_difference / a plain bit loop) over
+// multi-seed random tid universes at several densities, plus the edge
+// shapes the word-packed representation makes dangerous: exact word
+// boundaries, all-zero and all-one bitmaps, and trailing partial words.
+// The SIMD backends (AVX2/NEON) dispatch underneath the same entry points,
+// so whichever one the host selects is the one being proven here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mining/bitmap.h"
+#include "util/random.h"
+
+namespace maras::mining {
+namespace {
+
+using Tids = std::vector<TransactionId>;
+
+// Sorted unique tid sample of `universe` where each tid is kept with
+// probability `density`.
+Tids RandomTids(maras::Rng* rng, size_t universe, double density) {
+  Tids tids;
+  for (size_t t = 0; t < universe; ++t) {
+    if (rng->Bernoulli(density)) tids.push_back(static_cast<TransactionId>(t));
+  }
+  return tids;
+}
+
+Tids OracleIntersect(const Tids& a, const Tids& b) {
+  Tids out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Tids OracleDifference(const Tids& a, const Tids& b) {
+  Tids out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// The invariant every kernel relies on: bits at and beyond `universe` in
+// the trailing partial word are zero.
+void ExpectTrailingBitsZero(const TidBitmap& bm) {
+  if (bm.word_count() == 0) return;
+  const size_t tail = bm.universe() % kBitmapWordBits;
+  if (tail == 0) return;
+  const BitmapWord last = bm.words()[bm.word_count() - 1];
+  EXPECT_EQ(last & ~((BitmapWord{1} << tail) - 1), BitmapWord{0})
+      << "universe " << bm.universe();
+}
+
+// --------------------------------------------------------------------------
+// Deterministic edge shapes.
+// --------------------------------------------------------------------------
+
+TEST(BitmapKernelTest, EmptyUniverseIsInertEverywhere) {
+  TidBitmap a(0), b(0);
+  EXPECT_EQ(a.word_count(), 0u);
+  EXPECT_TRUE(a.ToTids().empty());
+  EXPECT_EQ(BitmapPopcount(a), 0u);
+  EXPECT_EQ(AndPopcount(a, b), 0u);
+  EXPECT_EQ(AndNotPopcount(a, b), 0u);
+  EXPECT_EQ(And3Popcount(a, b, a), 0u);
+  TidBitmap out;
+  EXPECT_EQ(BitmapAnd(a, b, &out), 0u);
+  EXPECT_EQ(out.universe(), 0u);
+  a.Fill();
+  EXPECT_EQ(BitmapPopcount(a), 0u);
+}
+
+TEST(BitmapKernelTest, SetAndTestAcrossWordBoundaries) {
+  const size_t universe = 200;
+  TidBitmap bm(universe);
+  const Tids probes = {0, 1, 62, 63, 64, 65, 127, 128, 191, 199};
+  for (TransactionId tid : probes) bm.Set(tid);
+  for (TransactionId tid : probes) {
+    EXPECT_TRUE(bm.Test(tid)) << tid;
+  }
+  EXPECT_FALSE(bm.Test(2));
+  EXPECT_FALSE(bm.Test(66));
+  EXPECT_FALSE(bm.Test(198));
+  // Out-of-universe probes answer false instead of reading out of range.
+  EXPECT_FALSE(bm.Test(200));
+  EXPECT_FALSE(bm.Test(100000));
+  EXPECT_EQ(BitmapPopcount(bm), probes.size());
+  EXPECT_EQ(bm.ToTids(), probes);
+  ExpectTrailingBitsZero(bm);
+}
+
+TEST(BitmapKernelTest, FillMasksTheTrailingPartialWord) {
+  for (size_t universe : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    TidBitmap bm(universe);
+    bm.Fill();
+    EXPECT_EQ(BitmapPopcount(bm), universe) << universe;
+    ExpectTrailingBitsZero(bm);
+    Tids all = bm.ToTids();
+    ASSERT_EQ(all.size(), universe) << universe;
+    EXPECT_EQ(all.front(), 0u);
+    EXPECT_EQ(all.back(), static_cast<TransactionId>(universe - 1));
+  }
+}
+
+TEST(BitmapKernelTest, AllZeroAndAllOneOperands) {
+  for (size_t universe : {64u, 65u, 320u}) {
+    TidBitmap zero(universe);
+    TidBitmap full(universe);
+    full.Fill();
+    EXPECT_EQ(AndPopcount(full, full), universe);
+    EXPECT_EQ(AndPopcount(full, zero), 0u);
+    EXPECT_EQ(AndPopcount(zero, zero), 0u);
+    EXPECT_EQ(AndNotPopcount(full, zero), universe);
+    EXPECT_EQ(AndNotPopcount(full, full), 0u);
+    EXPECT_EQ(AndNotPopcount(zero, full), 0u);
+    EXPECT_EQ(And3Popcount(full, full, full), universe);
+    EXPECT_EQ(And3Popcount(full, full, zero), 0u);
+    TidBitmap out;
+    EXPECT_EQ(BitmapAnd(full, full, &out), universe);
+    ExpectTrailingBitsZero(out);
+    EXPECT_EQ(BitmapAndNot(full, full, &out), 0u);
+    EXPECT_EQ(BitmapPopcount(out), 0u);
+  }
+}
+
+TEST(BitmapKernelTest, ResetClearsAndResizes) {
+  TidBitmap bm(100);
+  bm.Fill();
+  bm.Reset(40);
+  EXPECT_EQ(bm.universe(), 40u);
+  EXPECT_EQ(BitmapPopcount(bm), 0u);
+  bm.Set(39);
+  bm.Reset(100);
+  EXPECT_EQ(BitmapPopcount(bm), 0u);
+}
+
+TEST(BitmapKernelTest, PreferDenseCrossover) {
+  // Dense iff support / universe >= 1/kDenseSelectivityDivisor.
+  EXPECT_TRUE(PreferDense(1, kDenseSelectivityDivisor));
+  EXPECT_FALSE(PreferDense(1, kDenseSelectivityDivisor + 1));
+  EXPECT_TRUE(PreferDense(100, 3200));
+  EXPECT_FALSE(PreferDense(99, 3200));
+  EXPECT_TRUE(PreferDense(0, 0));  // degenerate: empty universe
+}
+
+TEST(BitmapKernelTest, BackendNameIsStableAndKnown) {
+  const std::string backend = BitmapKernelBackend();
+  EXPECT_TRUE(backend == "avx2" || backend == "neon" || backend == "scalar")
+      << backend;
+  EXPECT_EQ(backend, BitmapKernelBackend());  // same choice for the process
+}
+
+TEST(BitmapKernelTest, GallopIntersectHandlesDegenerateShapes) {
+  const Tids empty;
+  const Tids one = {5};
+  const Tids ramp = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+  EXPECT_EQ(GallopIntersectCount(empty, ramp), 0u);
+  EXPECT_EQ(GallopIntersectCount(ramp, empty), 0u);
+  EXPECT_EQ(GallopIntersectCount(one, ramp), 1u);
+  EXPECT_EQ(GallopIntersectCount(ramp, ramp), ramp.size());
+  const Tids disjoint = {0, 4, 6, 90};
+  EXPECT_EQ(GallopIntersectCount(ramp, disjoint), 0u);
+  Tids out = {99, 98};  // stale contents must be cleared
+  GallopIntersect(one, ramp, &out);
+  EXPECT_EQ(out, one);
+  GallopIntersect(ramp, disjoint, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --------------------------------------------------------------------------
+// Multi-seed property tests against the scalar oracles.
+// --------------------------------------------------------------------------
+
+class BitmapKernelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitmapKernelPropertyTest, DenseSparseConversionsRoundTrip) {
+  maras::Rng rng(GetParam());
+  for (size_t universe : {1u, 63u, 64u, 65u, 257u, 1024u, 4099u}) {
+    for (double density : {0.0, 0.01, 0.2, 0.9, 1.0}) {
+      Tids tids = RandomTids(&rng, universe, density);
+      TidBitmap bm = TidBitmap::FromTids(tids, universe);
+      EXPECT_EQ(bm.universe(), universe);
+      ExpectTrailingBitsZero(bm);
+      EXPECT_EQ(BitmapPopcount(bm), tids.size());
+      EXPECT_EQ(bm.ToTids(), tids);
+      Tids appended = {7};  // AppendTids must append, not clear
+      bm.AppendTids(&appended);
+      ASSERT_EQ(appended.size(), tids.size() + 1);
+      EXPECT_TRUE(std::equal(tids.begin(), tids.end(), appended.begin() + 1));
+    }
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, AndKernelsMatchSetIntersection) {
+  maras::Rng rng(GetParam() ^ 0x5117);
+  for (size_t universe : {64u, 65u, 200u, 1024u, 4099u}) {
+    for (double da : {0.02, 0.3, 0.95}) {
+      for (double db : {0.02, 0.3, 0.95}) {
+        Tids a = RandomTids(&rng, universe, da);
+        Tids b = RandomTids(&rng, universe, db);
+        const Tids expected = OracleIntersect(a, b);
+        TidBitmap abm = TidBitmap::FromTids(a, universe);
+        TidBitmap bbm = TidBitmap::FromTids(b, universe);
+        EXPECT_EQ(AndPopcount(abm, bbm), expected.size());
+        EXPECT_EQ(AndPopcount(bbm, abm), expected.size());  // commutes
+        TidBitmap out;
+        EXPECT_EQ(BitmapAnd(abm, bbm, &out), expected.size());
+        EXPECT_EQ(out.ToTids(), expected);
+        ExpectTrailingBitsZero(out);
+      }
+    }
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, AndNotKernelMatchesSetDifference) {
+  maras::Rng rng(GetParam() ^ 0xD1FF);
+  for (size_t universe : {64u, 130u, 1024u}) {
+    for (double density : {0.05, 0.4, 0.9}) {
+      Tids a = RandomTids(&rng, universe, density);
+      Tids b = RandomTids(&rng, universe, 0.5);
+      const Tids expected = OracleDifference(a, b);
+      TidBitmap abm = TidBitmap::FromTids(a, universe);
+      TidBitmap bbm = TidBitmap::FromTids(b, universe);
+      EXPECT_EQ(AndNotPopcount(abm, bbm), expected.size());
+      TidBitmap out;
+      EXPECT_EQ(BitmapAndNot(abm, bbm, &out), expected.size());
+      EXPECT_EQ(out.ToTids(), expected);
+      ExpectTrailingBitsZero(out);
+    }
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, And3KernelMatchesTripleIntersection) {
+  maras::Rng rng(GetParam() ^ 0x3333);
+  for (size_t universe : {65u, 300u, 2048u}) {
+    Tids a = RandomTids(&rng, universe, 0.5);
+    Tids b = RandomTids(&rng, universe, 0.4);
+    Tids c = RandomTids(&rng, universe, 0.3);
+    const Tids expected = OracleIntersect(OracleIntersect(a, b), c);
+    TidBitmap abm = TidBitmap::FromTids(a, universe);
+    TidBitmap bbm = TidBitmap::FromTids(b, universe);
+    TidBitmap cbm = TidBitmap::FromTids(c, universe);
+    EXPECT_EQ(And3Popcount(abm, bbm, cbm), expected.size());
+    EXPECT_EQ(And3Popcount(cbm, abm, bbm), expected.size());
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, GallopingMatchesSetIntersection) {
+  maras::Rng rng(GetParam() ^ 0x6A11);
+  for (size_t universe : {256u, 4096u}) {
+    // Skewed lengths are galloping's reason to exist; cover both orders.
+    for (double da : {0.005, 0.05, 0.6}) {
+      for (double db : {0.005, 0.6}) {
+        Tids a = RandomTids(&rng, universe, da);
+        Tids b = RandomTids(&rng, universe, db);
+        const Tids expected = OracleIntersect(a, b);
+        EXPECT_EQ(GallopIntersectCount(a, b), expected.size());
+        EXPECT_EQ(GallopIntersectCount(b, a), expected.size());
+        Tids out;
+        GallopIntersect(a, b, &out);
+        EXPECT_EQ(out, expected);
+        GallopIntersect(b, a, &out);
+        EXPECT_EQ(out, expected);
+      }
+    }
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, ProbeKernelsMatchSetIntersection) {
+  maras::Rng rng(GetParam() ^ 0xBEEF);
+  for (size_t universe : {128u, 1500u}) {
+    Tids sparse = RandomTids(&rng, universe, 0.03);
+    Tids dense = RandomTids(&rng, universe, 0.7);
+    const Tids expected = OracleIntersect(sparse, dense);
+    TidBitmap dense_bm = TidBitmap::FromTids(dense, universe);
+    EXPECT_EQ(ProbeCount(sparse, dense_bm), expected.size());
+    Tids out = {42};  // stale contents must be cleared
+    ProbeIntersect(sparse, dense_bm, &out);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, LongBitmapsCrossTheCacheBlockBoundary) {
+  // kBitmapBlockWords words per block: universes straddling one and two
+  // blocks exercise the blocked loop's inter-block accumulation.
+  maras::Rng rng(GetParam() ^ 0xB10C);
+  const size_t block_bits = kBitmapBlockWords * kBitmapWordBits;
+  for (size_t universe : {block_bits - 1, block_bits, block_bits + 1,
+                          2 * block_bits + 77}) {
+    Tids a = RandomTids(&rng, universe, 0.5);
+    Tids b = RandomTids(&rng, universe, 0.5);
+    const Tids expected = OracleIntersect(a, b);
+    TidBitmap abm = TidBitmap::FromTids(a, universe);
+    TidBitmap bbm = TidBitmap::FromTids(b, universe);
+    EXPECT_EQ(AndPopcount(abm, bbm), expected.size()) << universe;
+    EXPECT_EQ(BitmapPopcount(abm), a.size()) << universe;
+    TidBitmap out;
+    EXPECT_EQ(BitmapAnd(abm, bbm, &out), expected.size()) << universe;
+    EXPECT_EQ(out.ToTids(), expected) << universe;
+  }
+}
+
+TEST_P(BitmapKernelPropertyTest, VerticalSlicePolicyAndIntersection) {
+  maras::Rng rng(GetParam() ^ 0x51CE);
+  const size_t universe = 600;
+  Tids a = RandomTids(&rng, universe, 0.4);
+  Tids b = RandomTids(&rng, universe, 0.02);
+  const Tids expected = OracleIntersect(a, b);
+
+  // Representation follows the policy; the decoded tid set never changes.
+  for (BitmapPolicy policy :
+       {BitmapPolicy::kAuto, BitmapPolicy::kDense, BitmapPolicy::kSparse}) {
+    VerticalSlice sa = VerticalSlice::Make(1, a, universe, policy);
+    VerticalSlice sb = VerticalSlice::Make(2, b, universe, policy);
+    EXPECT_EQ(sa.support, a.size());
+    EXPECT_EQ(sb.support, b.size());
+    if (policy == BitmapPolicy::kDense) {
+      EXPECT_TRUE(sa.dense && sb.dense);
+    } else if (policy == BitmapPolicy::kSparse) {
+      EXPECT_FALSE(sa.dense || sb.dense);
+    } else {
+      EXPECT_EQ(sa.dense, PreferDense(a.size(), universe));
+      EXPECT_EQ(sb.dense, PreferDense(b.size(), universe));
+    }
+    VerticalSlice joined = IntersectSlices(sa, sb, universe, policy);
+    EXPECT_EQ(joined.item, sb.item);
+    EXPECT_EQ(joined.support, expected.size()) << static_cast<int>(policy);
+    Tids joined_tids =
+        joined.dense ? joined.bitmap.ToTids() : joined.tids;
+    if (joined.support > 0) {
+      EXPECT_EQ(joined_tids, expected) << static_cast<int>(policy);
+    }
+  }
+
+  // Mixed-representation pairs must agree with each other and the oracle.
+  VerticalSlice dense_a =
+      VerticalSlice::Make(1, a, universe, BitmapPolicy::kDense);
+  VerticalSlice sparse_b =
+      VerticalSlice::Make(2, b, universe, BitmapPolicy::kSparse);
+  VerticalSlice mixed =
+      IntersectSlices(dense_a, sparse_b, universe, BitmapPolicy::kAuto);
+  EXPECT_EQ(mixed.support, expected.size());
+  VerticalSlice mixed_flipped =
+      IntersectSlices(sparse_b, dense_a, universe, BitmapPolicy::kAuto);
+  EXPECT_EQ(mixed_flipped.support, expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapKernelPropertyTest,
+                         ::testing::Values(1, 77, 4242, 987654));
+
+}  // namespace
+}  // namespace maras::mining

@@ -1,11 +1,14 @@
 // The parallel mining engine's trust harness, in two halves.
 //
 // Differential oracle: four independent miners — FP-Growth (prefix-tree
-// projection, serial and thread-pooled), Eclat (vertical tid-lists), Apriori
-// (level-wise) and an exhaustive brute-force enumerator — must produce the
-// exact same frequent-itemset family on seeded random databases. Any
-// algorithmic or concurrency bug has to corrupt all four identically to
-// slip through.
+// projection, serial and thread-pooled), Eclat (vertical bitmap/tid-list
+// intersection, in every representation mode), Apriori (level-wise) and an
+// exhaustive brute-force enumerator — must produce the exact same
+// frequent-itemset family on seeded random databases. Any algorithmic or
+// concurrency bug has to corrupt all four identically to slip through.
+// The bitmap Eclat additionally runs with dense-only, sparse-only, and
+// density-chosen representations at 1, 2, and 8 threads: same bytes every
+// time, so neither the kernel backend nor scheduling can leak into output.
 //
 // Determinism suite: on generator-built FAERS corpora, the full serialized
 // output — closed itemsets, association rules, and ranked MCACs — must be
@@ -149,6 +152,49 @@ TEST_P(DifferentialOracleTest, FourMinersAgreeOnRandomDatabases) {
     auto fp4 = FpGrowth(parallel).Mine(db);
     ASSERT_TRUE(fp4.ok());
     ExpectIdentical(*fp4, brute, "fpgrowth(4 threads) vs brute");
+  }
+}
+
+TEST_P(DifferentialOracleTest, BitmapEclatModesMatchBruteAtAnyThreadCount) {
+  maras::Rng rng(GetParam() * 13 + 7);
+  const EclatMode kModes[] = {EclatMode::kScalar, EclatMode::kAuto,
+                              EclatMode::kDense, EclatMode::kSparse};
+  for (int trial = 0; trial < 3; ++trial) {
+    const int items = 8 + static_cast<int>(rng.Uniform(4));  // 8..11
+    TransactionDatabase db = RandomDb(&rng, 50 + trial * 40, items, 6);
+    MiningOptions options{.min_support = 1 + rng.Uniform(3)};
+    const std::string brute_bytes =
+        Serialize(BruteForceMine(db, options, items));
+    for (EclatMode mode : kModes) {
+      for (size_t threads : {1u, 2u, 8u}) {
+        MiningOptions opt = options;
+        opt.eclat_mode = mode;
+        opt.num_threads = threads;
+        auto mined = Eclat(opt).Mine(db);
+        ASSERT_TRUE(mined.ok());
+        EXPECT_EQ(Serialize(*mined), brute_bytes)
+            << "mode " << static_cast<int>(mode) << ", " << threads
+            << " threads, trial " << trial;
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialOracleTest, BitmapEclatModesAgreeUnderSizeCap) {
+  maras::Rng rng(GetParam() ^ 0xB17);
+  const int items = 10;
+  TransactionDatabase db = RandomDb(&rng, 80, items, 7);
+  MiningOptions options{.min_support = 2, .max_itemset_size = 3};
+  const std::string brute_bytes = Serialize(BruteForceMine(db, options, items));
+  for (EclatMode mode : {EclatMode::kScalar, EclatMode::kAuto,
+                         EclatMode::kDense, EclatMode::kSparse}) {
+    MiningOptions opt = options;
+    opt.eclat_mode = mode;
+    opt.num_threads = 8;
+    auto mined = Eclat(opt).Mine(db);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_EQ(Serialize(*mined), brute_bytes)
+        << "mode " << static_cast<int>(mode);
   }
 }
 

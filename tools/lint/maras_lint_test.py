@@ -49,7 +49,8 @@ class RuleFixtureTest(unittest.TestCase):
         self.assertEqual(proc.stdout, "")
 
     def test_mining_flat_containers(self):
-        self.assert_fires("mining-flat-containers")
+        # fpgrowth.cc plus the bitmap-kernel fixture: both must fire.
+        self.assert_fires("mining-flat-containers", extra_expected=2)
         self.assert_quiet("mining-flat-containers")
 
     def test_no_raw_new_delete(self):

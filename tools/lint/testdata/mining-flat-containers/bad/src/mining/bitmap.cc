@@ -1,0 +1,9 @@
+// Fixture: the bitmap kernel layer is a hot path too — must fire.
+#include <unordered_set>
+
+namespace maras::mining {
+void CollectTids() {
+  std::unordered_set<unsigned> tids;
+  tids.insert(7);
+}
+}  // namespace maras::mining

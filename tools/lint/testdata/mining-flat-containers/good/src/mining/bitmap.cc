@@ -1,0 +1,14 @@
+// Fixture: bitmap kernels on packed words and sorted tid vectors — quiet.
+#include <cstdint>
+#include <vector>
+
+namespace maras::mining {
+uint64_t AndPopcountWords(const std::vector<uint64_t>& a,
+                          const std::vector<uint64_t>& b) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+}  // namespace maras::mining
