@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -24,6 +23,7 @@
 
 #include "bench/bench_util.h"
 #include "mining/frequent_itemsets.h"
+#include "util/delimited.h"
 #include "util/json.h"
 
 namespace maras::bench {
@@ -88,11 +88,11 @@ inline bool WriteBenchJson(const std::string& path,
       json::Value(static_cast<double>(std::thread::hardware_concurrency()));
   doc["peak_rss_bytes"] = json::Value(static_cast<double>(PeakRssBytes()));
   doc["runs"] = json::Value(std::move(run_values));
-  std::ofstream out(path);
-  if (!out) return false;
-  out << json::Serialize(json::Value(std::move(doc)), /*pretty=*/true)
-      << "\n";
-  return out.good();
+  return AtomicWriteStringToFile(
+             path,
+             json::Serialize(json::Value(std::move(doc)), /*pretty=*/true) +
+                 "\n")
+      .ok();
 }
 
 // FNV-1a over the canonical (itemset, support) sequence: two mining passes

@@ -273,7 +273,7 @@ int RunGoverned(const std::string& argv0, const std::string& out_dir,
       core::RankingMethod::kExclusivenessConfidence,
       core::ExclusivenessOptions{}, export_options);
   MARAS_CHECK(
-      WriteStringToFile(out_dir + "/analysis.json", json_text).ok());
+      AtomicWriteStringToFile(out_dir + "/analysis.json", json_text).ok());
   std::printf("wrote analysis.json to %s\n", out_dir.c_str());
   return 0;
 }
@@ -362,7 +362,7 @@ int main(int argc, char** argv) {
   MARAS_CHECK(md.ok()) << md.status().ToString();
 
   // ---- artifacts ------------------------------------------------------
-  MARAS_CHECK(WriteStringToFile(out_dir + "/report.md", *md).ok());
+  MARAS_CHECK(AtomicWriteStringToFile(out_dir + "/report.md", *md).ok());
 
   core::ExportOptions export_options;
   export_options.max_clusters = 50;
@@ -371,7 +371,7 @@ int main(int argc, char** argv) {
       core::RankingMethod::kExclusivenessConfidence, scoring,
       export_options);
   MARAS_CHECK(
-      WriteStringToFile(out_dir + "/analysis.json", json_text).ok());
+      AtomicWriteStringToFile(out_dir + "/analysis.json", json_text).ok());
 
   viz::LineChartRenderer lines(viz::LineChartOptions{
       .y_min = 0.0, .y_max = 1.0, .y_label = "confidence"});

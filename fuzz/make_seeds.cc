@@ -6,17 +6,21 @@
 // between accept and reject, where parser bugs live.
 //
 // Usage: make_seeds <output-dir>
-//        (creates <output-dir>/{ascii,checkpoint,json,bitmap})
+//        (creates <output-dir>/{ascii,checkpoint,json,bitmap,snapshot})
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
+#include "core/analyzer.h"
 #include "core/checkpoint.h"
+#include "core/ranking.h"
 #include "faers/ascii_format.h"
 #include "faers/generator.h"
 #include "faers/preprocess.h"
+#include "serve/snapshot_format.h"
+#include "serve/snapshot_writer.h"
+#include "util/delimited.h"
 #include "util/status.h"
 
 namespace {
@@ -26,12 +30,7 @@ using maras::core::QuarterCheckpoint;
 
 maras::Status WriteFile(const std::filesystem::path& path,
                         const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    return maras::Status::IOError("cannot write " + path.string());
-  }
-  return maras::Status::OK();
+  return maras::AtomicWriteStringToFile(path.string(), bytes);
 }
 
 // The harness input framing: selector byte for the checkpoint decoders.
@@ -44,7 +43,8 @@ std::string WithSelector(unsigned char selector, const std::string& payload) {
 maras::Status Generate(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   std::error_code ec;
-  for (const char* sub : {"ascii", "checkpoint", "json", "bitmap"}) {
+  for (const char* sub : {"ascii", "checkpoint", "json", "bitmap",
+                          "snapshot"}) {
     fs::create_directories(root / sub, ec);
     if (ec) {
       return maras::Status::IOError("cannot create " +
@@ -177,6 +177,69 @@ maras::Status Generate(const std::filesystem::path& root) {
       R"({"escape":"a\"b\\c\/dé\n","empty":{},"arr":[[],[null]],)"
       R"("nums":[0,-1,3.5,1e10,2.2250738585072014e-308,17179869184]})"));
   MARAS_RETURN_IF_ERROR(WriteFile(root / "json" / "scalar.json", "true"));
+
+  // --- snapshot: a real signal snapshot plus boundary forgeries ------------
+  // Valid image first: mutations start on the accept/reject boundary. The
+  // forged variants pin the hostile-bytes classes the reader must reject —
+  // truncation, forged section lengths, overlapping offsets — so even the
+  // first fuzz pass exercises the structured rejection paths.
+  {
+    maras::core::AnalyzerOptions options;
+    options.mining.min_support = 4;
+    maras::core::MarasAnalyzer analyzer(options);
+    auto analysis = analyzer.Analyze(*preprocessed);
+    if (!analysis.ok()) return analysis.status();
+    std::vector<maras::core::RankedMcac> signals = maras::core::RankMcacs(
+        analysis->mcacs, maras::core::RankingMethod::kExclusivenessLift,
+        maras::core::ExclusivenessOptions{});
+    maras::serve::SnapshotInputs inputs;
+    inputs.items = &preprocessed->items;
+    inputs.signals = &signals;
+    inputs.stats = analysis->stats;
+    inputs.db = &preprocessed->transactions;
+    inputs.primary_ids = &preprocessed->primary_ids;
+    auto image = maras::serve::EncodeSignalSnapshot(inputs);
+    if (!image.ok()) return image.status();
+    MARAS_RETURN_IF_ERROR(
+        WriteFile(root / "snapshot" / "valid.bin", *image));
+    MARAS_RETURN_IF_ERROR(WriteFile(root / "snapshot" / "truncated.bin",
+                                    image->substr(0, image->size() / 2)));
+    MARAS_RETURN_IF_ERROR(WriteFile(
+        root / "snapshot" / "header_only.bin",
+        image->substr(0, maras::serve::kFileHeaderBytes +
+                             maras::serve::kSectionCount *
+                                 maras::serve::kSectionEntryBytes)));
+
+    const auto put_u32 = [](std::string* bytes, size_t pos, uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        (*bytes)[pos + static_cast<size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xFF);
+      }
+    };
+    const auto get_u32 = [](const std::string& bytes, size_t pos) {
+      uint32_t v = 0;
+      for (int i = 3; i >= 0; --i) {
+        v = (v << 8) |
+            static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]);
+      }
+      return v;
+    };
+    // Section table entry i sits at header + i*24; offset at +4, size at +8.
+    const size_t entry1 = maras::serve::kFileHeaderBytes +
+                          1 * maras::serve::kSectionEntryBytes;
+    const size_t entry2 = maras::serve::kFileHeaderBytes +
+                          2 * maras::serve::kSectionEntryBytes;
+    std::string forged = *image;
+    put_u32(&forged, entry1 + 8, get_u32(forged, entry1 + 8) + 8);
+    MARAS_RETURN_IF_ERROR(
+        WriteFile(root / "snapshot" / "forged_length.bin", forged));
+    std::string overlap = *image;
+    put_u32(&overlap, entry2 + 4, get_u32(overlap, entry1 + 4));
+    MARAS_RETURN_IF_ERROR(
+        WriteFile(root / "snapshot" / "overlap.bin", overlap));
+    MARAS_RETURN_IF_ERROR(
+        WriteFile(root / "snapshot" / "tiny.bin", "MSNP\x01"));
+  }
 
   // --- bitmap: kernel-harness inputs ---------------------------------------
   // Layout (see fuzz_bitmap_kernels.cc): [policy][universe lo][universe hi]

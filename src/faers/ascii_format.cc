@@ -146,11 +146,11 @@ maras::Status WriteAsciiQuarterToDir(const QuarterDataset& dataset,
   std::string demo_path = directory + "/DEMO" + suffix + ".txt";
   std::string drug_path = directory + "/DRUG" + suffix + ".txt";
   std::string reac_path = directory + "/REAC" + suffix + ".txt";
-  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(demo_path, files.demo),
+  MARAS_RETURN_IF_ERROR_CTX(maras::AtomicWriteStringToFile(demo_path, files.demo),
                             demo_path);
-  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(drug_path, files.drug),
+  MARAS_RETURN_IF_ERROR_CTX(maras::AtomicWriteStringToFile(drug_path, files.drug),
                             drug_path);
-  MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(reac_path, files.reac),
+  MARAS_RETURN_IF_ERROR_CTX(maras::AtomicWriteStringToFile(reac_path, files.reac),
                             reac_path);
   return maras::Status::OK();
 }

@@ -337,7 +337,7 @@ maras::Status WriteCorruptedQuarterToDir(const CorruptionResult& result,
       std::remove(path.c_str());  // tolerate the file not existing
       continue;
     }
-    MARAS_RETURN_IF_ERROR_CTX(maras::WriteStringToFile(path, *entry.content),
+    MARAS_RETURN_IF_ERROR_CTX(maras::AtomicWriteStringToFile(path, *entry.content),
                               path);
   }
   return maras::Status::OK();

@@ -1,0 +1,95 @@
+#ifndef MARAS_SERVE_BOUNDED_VIEW_H_
+#define MARAS_SERVE_BOUNDED_VIEW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace maras::serve {
+
+// ---------------------------------------------------------------------------
+// The ONLY sanctioned byte-access layer of the serving path. A mapped
+// snapshot is hostile input: every read of it must be bounds-checked before
+// any byte is interpreted, and no pointer derived from the mapping may
+// escape this class. The rest of src/serve/ reads snapshot bytes exclusively
+// through these Status-returning accessors — the serve-validated-access lint
+// rule bans reinterpret_cast, memcpy and data()-pointer arithmetic
+// everywhere else under src/serve/, so this file is the complete audit
+// surface for "can a forged offset read out of bounds".
+//
+// All multi-byte reads are little-endian fixed-width memcpys (the
+// util/binary_io.h convention), so accessors are alignment-safe on any
+// offset — a forged unaligned offset is a validation failure at worst,
+// never UB.
+// ---------------------------------------------------------------------------
+
+class BoundedView {
+ public:
+  BoundedView() = default;
+  BoundedView(const char* data, size_t size) : data_(data), size_(size) {}
+
+  static BoundedView Of(std::string_view bytes) {
+    return BoundedView(bytes.data(), bytes.size());
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Status U8At(size_t offset, uint8_t* v) const {
+    MARAS_RETURN_IF_ERROR(Need(offset, 1));
+    std::memcpy(v, data_ + offset, 1);
+    return Status::OK();
+  }
+  Status U32At(size_t offset, uint32_t* v) const {
+    MARAS_RETURN_IF_ERROR(Need(offset, sizeof(*v)));
+    std::memcpy(v, data_ + offset, sizeof(*v));
+    return Status::OK();
+  }
+  Status U64At(size_t offset, uint64_t* v) const {
+    MARAS_RETURN_IF_ERROR(Need(offset, sizeof(*v)));
+    std::memcpy(v, data_ + offset, sizeof(*v));
+    return Status::OK();
+  }
+  Status F64At(size_t offset, double* v) const {
+    uint64_t bits = 0;
+    MARAS_RETURN_IF_ERROR(U64At(offset, &bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  // Borrowing byte-range view; valid only while the backing storage lives.
+  Status BytesAt(size_t offset, size_t length, std::string_view* out) const {
+    MARAS_RETURN_IF_ERROR(Need(offset, length));
+    *out = std::string_view(data_ + offset, length);
+    return Status::OK();
+  }
+
+  // Sub-view of [offset, offset + length) — how section payloads are carved
+  // out of the file view so per-section accessors cannot stray outside
+  // their section even with a forged in-section offset.
+  Status Slice(size_t offset, size_t length, BoundedView* out) const {
+    MARAS_RETURN_IF_ERROR(Need(offset, length));
+    *out = BoundedView(data_ + offset, length);
+    return Status::OK();
+  }
+
+ private:
+  // Overflow-proof: compares against the space left, never offset + n.
+  Status Need(size_t offset, size_t n) const {
+    if (offset > size_ || n > size_ - offset) {
+      return Status::Corruption(
+          "out-of-bounds read: need " + std::to_string(n) + " bytes at " +
+          std::to_string(offset) + ", view holds " + std::to_string(size_));
+    }
+    return Status::OK();
+  }
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace maras::serve
+
+#endif  // MARAS_SERVE_BOUNDED_VIEW_H_

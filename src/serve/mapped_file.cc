@@ -1,0 +1,76 @@
+#include "serve/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace maras::serve {
+
+MappedFile::~MappedFile() { Unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+maras::StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return maras::Status::NotFound("no such snapshot file: " + path);
+    }
+    return maras::Status::IOError("cannot open " + path + ": " +
+                                  std::strerror(err));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return maras::Status::IOError("cannot stat " + path + ": " +
+                                  std::strerror(err));
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* data = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return maras::Status::IOError("cannot mmap " + path + ": " +
+                                    std::strerror(err));
+    }
+    mapped.data_ = data;
+  }
+  ::close(fd);
+  return mapped;
+}
+
+BoundedView MappedFile::view() const {
+  // The single point where the mapping becomes typed bytes; everything past
+  // this line is bounds-checked by BoundedView.
+  return BoundedView(static_cast<const char*>(data_), size_);
+}
+
+}  // namespace maras::serve

@@ -1,0 +1,43 @@
+#ifndef MARAS_SERVE_MAPPED_FILE_H_
+#define MARAS_SERVE_MAPPED_FILE_H_
+
+#include <string>
+
+#include "serve/bounded_view.h"
+#include "util/statusor.h"
+
+namespace maras::serve {
+
+// Read-only memory mapping of a snapshot file. The mapping is private and
+// never written through; snapshots are immutable once published (the store
+// renames, it never rewrites), so the mapping stays coherent for its whole
+// lifetime. Exposes the bytes ONLY as a BoundedView — the raw pointer never
+// leaves this class, keeping all interpretation behind the validated
+// accessor layer.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. An empty file maps to an empty view (mmap of
+  // length 0 is unspecified, so it is not attempted).
+  static maras::StatusOr<MappedFile> Open(const std::string& path);
+
+  size_t size() const { return size_; }
+  BoundedView view() const;
+
+ private:
+  void Unmap();
+
+  void* data_ = nullptr;  // nullptr for an empty file
+  size_t size_ = 0;
+};
+
+}  // namespace maras::serve
+
+#endif  // MARAS_SERVE_MAPPED_FILE_H_

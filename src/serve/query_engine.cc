@@ -1,0 +1,72 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace maras::serve {
+
+maras::StatusOr<QueryEngine> QueryEngine::Create(
+    std::shared_ptr<const SignalSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return maras::Status::InvalidArgument("query engine needs a snapshot");
+  }
+  QueryEngine engine(std::move(snapshot));
+  const uint32_t items = engine.snapshot_->counts().items;
+  engine.item_index_.reserve(items);
+  for (uint32_t i = 0; i < items; ++i) {
+    std::string_view name;
+    MARAS_RETURN_IF_ERROR(engine.snapshot_->ItemName(i, &name));
+    engine.item_index_.emplace(name, i);
+  }
+  return engine;
+}
+
+std::vector<uint32_t> QueryEngine::TopK(uint32_t k) const {
+  const uint32_t n = std::min(k, snapshot_->counts().signals);
+  std::vector<uint32_t> out(n);
+  for (uint32_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+maras::StatusOr<uint32_t> QueryEngine::FindItem(std::string_view name) const {
+  const auto it = item_index_.find(name);
+  if (it == item_index_.end()) {
+    return maras::Status::NotFound("unknown item '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+maras::StatusOr<std::vector<uint32_t>> QueryEngine::SignalsForItem(
+    std::string_view name, mining::ItemDomain side) const {
+  MARAS_ASSIGN_OR_RETURN(uint32_t item, FindItem(name));
+  std::vector<uint32_t> out;
+  MARAS_RETURN_IF_ERROR(snapshot_->Postings(side, item, &out));
+  return out;
+}
+
+maras::StatusOr<std::vector<uint32_t>> QueryEngine::SignalsForDrug(
+    std::string_view name) const {
+  return SignalsForItem(name, mining::ItemDomain::kDrug);
+}
+
+maras::StatusOr<std::vector<uint32_t>> QueryEngine::SignalsForAdr(
+    std::string_view name) const {
+  return SignalsForItem(name, mining::ItemDomain::kAdr);
+}
+
+maras::StatusOr<std::vector<uint64_t>> QueryEngine::SupportingReportIds(
+    uint32_t signal) const {
+  std::vector<uint64_t> out;
+  MARAS_RETURN_IF_ERROR(snapshot_->ReportIds(signal, &out));
+  return out;
+}
+
+maras::StatusOr<core::RankedMcac> QueryEngine::Materialize(
+    uint32_t signal) const {
+  return snapshot_->Materialize(signal);
+}
+
+}  // namespace maras::serve

@@ -93,7 +93,7 @@ StatusOr<std::string> DelimitedWriter::ToString(
 Status DelimitedWriter::WriteFile(const std::string& path,
                                   const DelimitedTable& table) const {
   MARAS_ASSIGN_OR_RETURN(std::string content, ToString(table));
-  return WriteStringToFile(path, content);
+  return AtomicWriteStringToFile(path, content);
 }
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {

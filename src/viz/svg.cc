@@ -128,7 +128,7 @@ std::string SvgDocument::Render() const {
 }
 
 maras::Status SvgDocument::WriteFile(const std::string& path) const {
-  return maras::WriteStringToFile(path, Render());
+  return maras::AtomicWriteStringToFile(path, Render());
 }
 
 }  // namespace maras::viz

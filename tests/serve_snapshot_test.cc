@@ -1,0 +1,264 @@
+// Round-trip, relocatability and hostile-bytes tests for the snapshot
+// writer/reader pair. The adversarial sections enforce the serving-path
+// failure model: EVERY single-byte corruption, truncation and
+// checksum-consistent semantic forgery must surface as a structured
+// non-OK Status — never a crash, never a partially usable snapshot.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "serve/snapshot_format.h"
+#include "serve/snapshot_reader.h"
+#include "serve/snapshot_writer.h"
+#include "serve_test_util.h"
+
+namespace maras::serve {
+namespace {
+
+using ::maras::test::InputsOf;
+using ::maras::test::MakeServeFixture;
+using ::maras::test::RestampChecksums;
+using ::maras::test::ServeFixture;
+
+std::string EncodeOrDie(const ServeFixture& fixture) {
+  auto bytes = EncodeSignalSnapshot(InputsOf(fixture));
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return *bytes;
+}
+
+TEST(SnapshotRoundTripTest, CountsAndStatsSurvive) {
+  const ServeFixture fixture = MakeServeFixture();
+  auto snapshot = SignalSnapshot::FromBytes(EncodeOrDie(fixture));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->counts().signals, fixture.ranked.size());
+  EXPECT_EQ(snapshot->counts().items, fixture.corpus.items.size());
+  EXPECT_EQ(snapshot->stats().total_rules, fixture.stats.total_rules);
+  EXPECT_EQ(snapshot->stats().filtered_rules, fixture.stats.filtered_rules);
+  EXPECT_EQ(snapshot->stats().closed_mixed, fixture.stats.closed_mixed);
+  EXPECT_EQ(snapshot->stats().mcac_count, fixture.stats.mcac_count);
+}
+
+TEST(SnapshotRoundTripTest, MaterializeIsByteIdenticalToAnalyzerOutput) {
+  const ServeFixture fixture = MakeServeFixture();
+  auto snapshot = SignalSnapshot::FromBytes(EncodeOrDie(fixture));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  std::vector<core::RankedMcac> materialized;
+  for (uint32_t s = 0; s < snapshot->counts().signals; ++s) {
+    auto ranked = snapshot->Materialize(s);
+    ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+    materialized.push_back(std::move(*ranked));
+  }
+  // The strongest equality available: the checkpoint codec serializes every
+  // field (doubles as raw bits), so identical encodings mean identical
+  // analyzer-side values.
+  EXPECT_EQ(core::EncodeRankedMcacs(materialized),
+            core::EncodeRankedMcacs(fixture.ranked));
+}
+
+TEST(SnapshotRoundTripTest, ReportIdsMatchSupportingReports) {
+  const ServeFixture fixture = MakeServeFixture();
+  auto snapshot = SignalSnapshot::FromBytes(EncodeOrDie(fixture));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  for (uint32_t s = 0; s < snapshot->counts().signals; ++s) {
+    std::vector<uint64_t> got;
+    ASSERT_TRUE(snapshot->ReportIds(s, &got).ok());
+    const std::vector<uint64_t> want = core::SupportingReports(
+        fixture.corpus.db, fixture.primary_ids,
+        fixture.ranked[s].mcac.target);
+    EXPECT_EQ(got, want) << "signal " << s;
+    EXPECT_FALSE(got.empty()) << "signal " << s;
+  }
+}
+
+TEST(SnapshotRoundTripTest, DecodeReEncodeIsByteIdentical) {
+  const ServeFixture fixture = MakeServeFixture();
+  const std::string bytes = EncodeOrDie(fixture);
+  auto snapshot = SignalSnapshot::FromBytes(bytes);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  auto rebuilt = ReconstructInputs(*snapshot);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  SnapshotInputs inputs;
+  inputs.items = &rebuilt->items;
+  inputs.signals = &rebuilt->signals;
+  inputs.stats = rebuilt->stats;
+  inputs.report_ids = &rebuilt->report_ids;
+  auto re_encoded = EncodeSignalSnapshot(inputs);
+  ASSERT_TRUE(re_encoded.ok()) << re_encoded.status().ToString();
+  EXPECT_EQ(*re_encoded, bytes);
+}
+
+TEST(SnapshotRoundTripTest, ImageIsRelocatable) {
+  const ServeFixture fixture = MakeServeFixture();
+  const std::string bytes = EncodeOrDie(fixture);
+  // Two independent copies at different addresses must answer identically —
+  // nothing in the image may depend on where it is loaded.
+  const std::string copy_a = bytes;
+  const std::string copy_b = bytes;
+  auto snap_a = SignalSnapshot::FromView(copy_a);
+  auto snap_b = SignalSnapshot::FromView(copy_b);
+  ASSERT_TRUE(snap_a.ok());
+  ASSERT_TRUE(snap_b.ok());
+  for (uint32_t s = 0; s < snap_a->counts().signals; ++s) {
+    auto a = snap_a->Materialize(s);
+    auto b = snap_b->Materialize(s);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(core::EncodeRankedMcacs({*a}), core::EncodeRankedMcacs({*b}));
+  }
+}
+
+TEST(SnapshotWriterTest, RejectsInconsistentInputs) {
+  const ServeFixture fixture = MakeServeFixture();
+  SnapshotInputs inputs;  // no items / signals at all
+  EXPECT_TRUE(EncodeSignalSnapshot(inputs).status().IsInvalidArgument());
+
+  inputs = InputsOf(fixture);
+  inputs.primary_ids = nullptr;  // db without ids: no report source
+  EXPECT_TRUE(EncodeSignalSnapshot(inputs).status().IsInvalidArgument());
+
+  inputs = InputsOf(fixture);
+  std::vector<std::vector<uint64_t>> precomputed(fixture.ranked.size());
+  inputs.report_ids = &precomputed;  // both sources at once: ambiguous
+  EXPECT_TRUE(EncodeSignalSnapshot(inputs).status().IsInvalidArgument());
+
+  inputs = InputsOf(fixture);
+  inputs.db = nullptr;
+  inputs.primary_ids = nullptr;
+  precomputed.pop_back();  // wrong per-signal list count
+  inputs.report_ids = &precomputed;
+  EXPECT_TRUE(EncodeSignalSnapshot(inputs).status().IsInvalidArgument());
+}
+
+TEST(SnapshotHostileBytesTest, EmptyAndTinyImagesAreRejected) {
+  EXPECT_FALSE(SignalSnapshot::FromView("").ok());
+  EXPECT_FALSE(SignalSnapshot::FromView("MSNP").ok());
+  EXPECT_FALSE(SignalSnapshot::FromView(std::string(23, '\0')).ok());
+}
+
+TEST(SnapshotHostileBytesTest, EveryTruncationIsRejected) {
+  const std::string bytes = EncodeOrDie(MakeServeFixture());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto snapshot = SignalSnapshot::FromView(
+        std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(snapshot.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+TEST(SnapshotHostileBytesTest, EverySingleByteFlipIsRejected) {
+  const std::string bytes = EncodeOrDie(MakeServeFixture());
+  std::string mutant = bytes;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    mutant[i] = static_cast<char>(mutant[i] ^ 0x5a);
+    auto snapshot = SignalSnapshot::FromView(mutant);
+    EXPECT_FALSE(snapshot.ok()) << "flip at byte " << i << " accepted";
+    mutant[i] = bytes[i];
+  }
+}
+
+TEST(SnapshotHostileBytesTest, TrailingBytesAreRejected) {
+  std::string bytes = EncodeOrDie(MakeServeFixture());
+  bytes.push_back('\0');
+  EXPECT_FALSE(SignalSnapshot::FromView(bytes).ok());
+}
+
+// Semantic forgeries: mutate content, then re-stamp every checksum so the
+// framing layer is perfectly happy — rejection must come from canonical
+// validation.
+class SnapshotForgeryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeServeFixture();
+    bytes_ = EncodeOrDie(fixture_);
+  }
+
+  // Offset of section `id`'s payload in the image.
+  size_t SectionOffset(SectionId id) const {
+    const size_t entry = kFileHeaderBytes +
+                         (static_cast<size_t>(id) - 1) * kSectionEntryBytes;
+    return maras::test::GetU32Le(bytes_, entry + 4);
+  }
+
+  void ExpectForgedRejected(const std::string& what) {
+    RestampChecksums(&bytes_);
+    auto snapshot = SignalSnapshot::FromView(bytes_);
+    EXPECT_FALSE(snapshot.ok()) << what << " accepted";
+    if (!snapshot.ok()) {
+      EXPECT_TRUE(snapshot.status().IsCorruption())
+          << what << ": " << snapshot.status().ToString();
+    }
+  }
+
+  ServeFixture fixture_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotForgeryTest, ForgedItemNameOffset) {
+  // Break the canonical tight packing of names: point item 0 one byte in.
+  const size_t items = SectionOffset(SectionId::kItems);
+  bytes_[items + kItemNameOffset] =
+      static_cast<char>(bytes_[items + kItemNameOffset] + 1);
+  ExpectForgedRejected("forged item name offset");
+}
+
+TEST_F(SnapshotForgeryTest, ForgedItemDomain) {
+  const size_t items = SectionOffset(SectionId::kItems);
+  bytes_[items + kItemDomain] = 7;
+  ExpectForgedRejected("forged item domain");
+}
+
+TEST_F(SnapshotForgeryTest, ForgedSignalTargetRule) {
+  // Point signal 0 at a context rule instead of its own target — breaks the
+  // canonical rule ordering even though the index is in range.
+  const size_t signals = SectionOffset(SectionId::kSignals);
+  bytes_[signals + kSignalTargetRule] =
+      static_cast<char>(bytes_[signals + kSignalTargetRule] + 1);
+  ExpectForgedRejected("forged signal target rule");
+}
+
+TEST_F(SnapshotForgeryTest, ForgedPostingEntry) {
+  ASSERT_GT(maras::test::GetU32Le(
+                bytes_, SectionOffset(SectionId::kMeta) + kMetaPostingCount),
+            0u);
+  const size_t pool = SectionOffset(SectionId::kPostingPool);
+  bytes_[pool] = static_cast<char>(bytes_[pool] + 1);
+  ExpectForgedRejected("forged posting entry");
+}
+
+TEST_F(SnapshotForgeryTest, ForgedMetaCount) {
+  // Claim one signal fewer than the section holds; geometry must object.
+  const size_t meta = SectionOffset(SectionId::kMeta);
+  const uint32_t signals = maras::test::GetU32Le(bytes_, meta);
+  ASSERT_GT(signals, 0u);
+  bytes_[meta] = static_cast<char>(signals - 1);
+  ExpectForgedRejected("forged meta signal count");
+}
+
+TEST_F(SnapshotForgeryTest, ForgedReservedField) {
+  const size_t signals = SectionOffset(SectionId::kSignals);
+  bytes_[signals + kSignalReportCount + 4] = 1;
+  ExpectForgedRejected("forged signal reserved field");
+}
+
+TEST(SnapshotAccessorTest, HostileQueryIndicesAreInvalidArgument) {
+  const ServeFixture fixture = MakeServeFixture();
+  auto snapshot = SignalSnapshot::FromBytes(
+      *EncodeSignalSnapshot(InputsOf(fixture)));
+  ASSERT_TRUE(snapshot.ok());
+  const SnapshotCounts& counts = snapshot->counts();
+  std::string_view name;
+  EXPECT_TRUE(snapshot->ItemName(counts.items, &name).IsInvalidArgument());
+  SignalRecord signal;
+  EXPECT_TRUE(snapshot->Signal(counts.signals, &signal).IsInvalidArgument());
+  core::DrugAdrRule rule;
+  EXPECT_TRUE(snapshot->Rule(counts.rules, &rule).IsInvalidArgument());
+  std::vector<uint64_t> reports;
+  EXPECT_TRUE(
+      snapshot->ReportIds(counts.signals, &reports).IsInvalidArgument());
+  EXPECT_FALSE(snapshot->Materialize(counts.signals).ok());
+}
+
+}  // namespace
+}  // namespace maras::serve

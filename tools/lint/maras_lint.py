@@ -60,6 +60,10 @@ RULES = {
         "raw fork/exec*/system/popen outside src/util/subprocess.* (spawn "
         "through ChildProcess so EINTR/SIGPIPE/zombie hygiene is audited "
         "in one place)",
+    "serve-validated-access":
+        "reinterpret_cast, memcpy/memmove or data()-pointer arithmetic in "
+        "src/serve outside the accessor layer (bounded_view/mapped_file); "
+        "snapshot bytes are hostile and must be read through BoundedView",
 }
 
 # Mining files that are on the hot path and must use flat (or dense
@@ -90,6 +94,15 @@ NEW_DELETE_ALLOWED = {"bench/alloc_counter.cc", "bench/alloc_counter.h"}
 # The one sanctioned home of raw process-control syscalls. Everyone else
 # spawns through ChildProcess (util/subprocess.h).
 SUBPROCESS_ALLOWED = {"src/util/subprocess.cc", "src/util/subprocess.h"}
+
+# The serving path treats every snapshot byte as hostile; these are the
+# only files allowed to touch raw memory — BoundedView's checked accessors
+# and the mmap wrapper whose view() is the single cast point.
+SERVE_RAW_ACCESS_ALLOWED = {
+    "src/serve/bounded_view.h",
+    "src/serve/mapped_file.h",
+    "src/serve/mapped_file.cc",
+}
 
 SCAN_ROOTS = ("src", "tests", "bench", "examples", "fuzz", "tools")
 EXCLUDE_PARTS = ("tools/lint/testdata",)
@@ -402,6 +415,26 @@ def rule_no_raw_subprocess(relpath, text, stripped):
                "and zombie handling are audited once")
 
 
+_REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
+_MEMCPY_RE = re.compile(r"\bmem(?:cpy|move)\s*\(")
+_DATA_ARITH_RE = re.compile(r"\bdata\s*\(\s*\)\s*[+-](?![+-])")
+
+
+def rule_serve_validated_access(relpath, text, stripped):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/serve/") or rel in SERVE_RAW_ACCESS_ALLOWED:
+        return
+    for regex, what in ((_REINTERPRET_RE, "reinterpret_cast"),
+                        (_MEMCPY_RE, "memcpy/memmove"),
+                        (_DATA_ARITH_RE, "data()-pointer arithmetic")):
+        for m in regex.finditer(stripped):
+            yield (line_of(stripped, m.start()),
+                   f"{what} outside the accessor layer; snapshot bytes are "
+                   "hostile — go through BoundedView "
+                   "(serve/bounded_view.h), the only sanctioned byte-access "
+                   "surface")
+
+
 RULE_FUNCS = {
     "mining-flat-containers": rule_mining_flat_containers,
     "no-raw-new-delete": rule_no_raw_new_delete,
@@ -410,6 +443,7 @@ RULE_FUNCS = {
     "no-using-namespace-header": rule_no_using_namespace_header,
     "statusor-unchecked-deref": rule_statusor_unchecked_deref,
     "no-raw-subprocess": rule_no_raw_subprocess,
+    "serve-validated-access": rule_serve_validated_access,
 }
 
 assert set(RULE_FUNCS) == set(RULES)

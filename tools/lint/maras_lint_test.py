@@ -80,6 +80,13 @@ class RuleFixtureTest(unittest.TestCase):
         self.assert_fires("no-raw-subprocess", extra_expected=4)
         self.assert_quiet("no-raw-subprocess")
 
+    def test_serve_validated_access(self):
+        # reinterpret_cast, memcpy, and data()-arithmetic must all fire in
+        # the bad tree; the good tree proves the bounded_view.h exemption
+        # and that BoundedView-mediated reads stay quiet.
+        self.assert_fires("serve-validated-access", extra_expected=3)
+        self.assert_quiet("serve-validated-access")
+
     def test_good_fixtures_clean_under_all_rules(self):
         # Cross-rule quiet check: a good fixture for one rule must not trip
         # another rule by accident.

@@ -1,0 +1,28 @@
+// Fixture: raw byte access in a serve/ file outside the accessor layer.
+// All three banned forms must fire: reinterpret_cast, memcpy, and
+// data()-pointer arithmetic.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace maras::serve {
+
+uint32_t RogueHeaderMagic(const std::string& image) {
+  // reinterpret_cast straight over untrusted bytes.
+  return *reinterpret_cast<const uint32_t*>(image.data());
+}
+
+uint64_t RogueChecksum(const std::string& image) {
+  uint64_t checksum = 0;
+  // Unchecked memcpy out of the hostile image.
+  std::memcpy(&checksum, image.data(), sizeof(checksum));
+  return checksum;
+}
+
+const char* RogueSectionStart(const std::string& image, size_t offset) {
+  // Pointer arithmetic on data() instead of a bounds-checked Slice.
+  return image.data() + offset;
+}
+
+}  // namespace maras::serve

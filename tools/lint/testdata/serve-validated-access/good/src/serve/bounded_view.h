@@ -1,0 +1,31 @@
+#ifndef MARAS_SERVE_BOUNDED_VIEW_H_
+#define MARAS_SERVE_BOUNDED_VIEW_H_
+
+// Fixture: the accessor layer itself is exempt — bounded_view.h is the one
+// sanctioned home of memcpy over the mapped image.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace maras::serve {
+
+class BoundedView {
+ public:
+  BoundedView() = default;
+  BoundedView(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32At(size_t offset, uint32_t* v) const {
+    if (offset > size_ || sizeof(*v) > size_ - offset) return false;
+    std::memcpy(v, data_ + offset, sizeof(*v));
+    return true;
+  }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace maras::serve
+
+#endif  // MARAS_SERVE_BOUNDED_VIEW_H_

@@ -1,0 +1,16 @@
+// Fixture: a serve/ file that reads snapshot bytes the sanctioned way —
+// every access goes through BoundedView's checked accessors; no casts, no
+// raw copies, no pointer arithmetic.
+
+#include <cstdint>
+
+#include "serve/bounded_view.h"
+
+namespace maras::serve {
+
+bool ReadMagicAndVersion(const BoundedView& view, uint32_t* magic,
+                         uint32_t* version) {
+  return view.U32At(0, magic) && view.U32At(4, version);
+}
+
+}  // namespace maras::serve
