@@ -1,0 +1,302 @@
+// MCAC-construction micro-benchmarks: the per-target subset-support fan-out
+// that dominates stage 4, measured on a dense synthetic corpus whose targets
+// overlap heavily in drug subsets (the workload the concept lattice and the
+// shared SubsetSupportCache exist for). Benchmarks cover the one-time
+// lattice build, the enumeration baseline (every subset counted from the
+// transaction database), the lattice-backed fan-out with a cold cache (one
+// cache per pass, exactly BuildRankedStage's shape), and the hot-memo upper
+// bound. `--bench_json` writes bench/baselines/BENCH_mcac.json; `--smoke` is
+// the Release-mode result-hash gate: BuildRankedStage with the lattice must
+// be byte-identical to the enumeration path at 1, 2, and 8 threads.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
+#include "core/analysis_stages.h"
+#include "core/analyzer.h"
+#include "core/checkpoint.h"
+#include "core/drug_adr_rule.h"
+#include "core/mcac.h"
+#include "core/ranking.h"
+#include "mining/closed_itemsets.h"
+#include "mining/concept_lattice.h"
+#include "mining/item_dictionary.h"
+#include "mining/itemset.h"
+#include "mining/transaction_db.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/run_context.h"
+
+namespace {
+
+using namespace maras;
+
+// Dense MCAC workload: kTargets sliding windows of kWindow drugs over a
+// kDrugs-drug alphabet, each window reported kCopies times with its ADR, so
+// adjacent targets share all subsets of their (kWindow − 1)-drug overlap —
+// the cross-target reuse the shared cache memoizes. Singleton noise reports
+// fatten every database scan the enumeration baseline pays without growing
+// the closed family beyond {drug, adr} pairs.
+constexpr size_t kDrugs = 30;
+constexpr size_t kWindow = 6;
+constexpr size_t kTargets = kDrugs - kWindow + 1;  // 25
+constexpr size_t kCopies = 8;
+constexpr size_t kNoiseReports = 12000;
+constexpr size_t kAdrs = 4;  // targets all share adr 0; noise spreads over 4
+
+struct Fixture {
+  mining::ItemDictionary items;
+  mining::TransactionDatabase db;
+  std::vector<core::DrugAdrRule> targets;
+  mining::FrequentItemsetResult closed;
+  mining::ConceptLattice lattice;
+};
+
+Fixture MakeFixture() {
+  Fixture fixture;
+  std::vector<mining::ItemId> drugs;
+  std::vector<mining::ItemId> adrs;
+  for (size_t d = 0; d < kDrugs; ++d) {
+    auto id = fixture.items.Intern("DRUG" + std::to_string(d),
+                                   mining::ItemDomain::kDrug);
+    MARAS_CHECK(id.ok());
+    drugs.push_back(*id);
+  }
+  for (size_t a = 0; a < kAdrs; ++a) {
+    auto id = fixture.items.Intern("ADE" + std::to_string(a),
+                                   mining::ItemDomain::kAdr);
+    MARAS_CHECK(id.ok());
+    adrs.push_back(*id);
+  }
+
+  std::vector<mining::Itemset> wholes;
+  for (size_t t = 0; t < kTargets; ++t) {
+    mining::Itemset txn;
+    for (size_t i = 0; i < kWindow; ++i) txn.push_back(drugs[t + i]);
+    txn.push_back(adrs[0]);
+    txn = mining::MakeItemset(std::move(txn));
+    for (size_t c = 0; c < kCopies; ++c) fixture.db.Add(txn);
+    wholes.push_back(std::move(txn));
+  }
+  Rng rng(97);
+  for (size_t r = 0; r < kNoiseReports; ++r) {
+    mining::Itemset txn{drugs[rng.Uniform(kDrugs)],
+                        adrs[rng.Uniform(kAdrs)]};
+    fixture.db.Add(mining::MakeItemset(std::move(txn)));
+  }
+
+  for (const mining::Itemset& whole : wholes) {
+    auto rule = core::BuildRule(whole, fixture.items, fixture.db);
+    MARAS_CHECK(rule.ok()) << rule.status().ToString();
+    fixture.targets.push_back(*std::move(rule));
+  }
+
+  // Uncapped mine: the descent exactness precondition holds for free.
+  mining::MiningOptions options{.min_support = 4,
+                                .max_itemset_size = 0,
+                                .num_threads = 4};
+  auto closed = mining::MineClosed(fixture.db, options);
+  MARAS_CHECK(closed.ok()) << closed.status().ToString();
+  fixture.closed = *std::move(closed);
+
+  const RunContext ctx;
+  auto lattice =
+      mining::ConceptLattice::Build(fixture.closed, /*num_threads=*/4, ctx);
+  MARAS_CHECK(lattice.ok()) << lattice.status().ToString();
+  fixture.lattice = *std::move(lattice);
+  return fixture;
+}
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = new Fixture(MakeFixture());
+  return *fixture;
+}
+
+size_t BuildAll(const core::McacBuilder& builder,
+                const std::vector<core::DrugAdrRule>& targets) {
+  size_t context_rules = 0;
+  for (const core::DrugAdrRule& target : targets) {
+    auto mcac = builder.Build(target);
+    MARAS_CHECK(mcac.ok()) << mcac.status().ToString();
+    context_rules += mcac->ContextSize();
+  }
+  return context_rules;
+}
+
+// One-time cost of stage 3.5: nodes + covering edges over the closed family.
+void BM_LatticeBuild(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture();
+  const RunContext ctx;
+  const auto threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto lattice = mining::ConceptLattice::Build(fixture.closed, threads, ctx);
+    MARAS_CHECK(lattice.ok());
+    benchmark::DoNotOptimize(lattice);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["nodes"] = static_cast<double>(fixture.lattice.node_count());
+  state.counters["edges"] = static_cast<double>(fixture.lattice.edge_count());
+  state.counters["arena_bytes"] =
+      static_cast<double>(fixture.lattice.MemoryFootprint());
+}
+BENCHMARK(BM_LatticeBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Enumeration baseline: every subset support is a full database scan.
+void BM_McacEnumeration(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture();
+  const core::McacBuilder builder(&fixture.items, &fixture.db);
+  size_t context_rules = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context_rules =
+                                 BuildAll(builder, fixture.targets));
+  }
+  state.counters["context_rules"] = static_cast<double>(context_rules);
+  state.counters["targets_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTargets),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McacEnumeration)->Unit(benchmark::kMillisecond);
+
+// The production shape (BuildRankedStage): one shared cache per fan-out
+// pass, subset supports resolved as memoized lattice descents.
+void BM_McacLatticeColdCache(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture();
+  size_t context_rules = 0;
+  uint64_t hits = 0, misses = 0, fallbacks = 0;
+  for (auto _ : state) {
+    mining::SubsetSupportCache cache(&fixture.db);
+    const core::McacBuilder builder(&fixture.items, &fixture.db,
+                                    &fixture.lattice, &cache);
+    benchmark::DoNotOptimize(context_rules =
+                                 BuildAll(builder, fixture.targets));
+    hits = cache.hits();
+    misses = cache.misses();
+    fallbacks = cache.fallbacks();
+  }
+  state.counters["context_rules"] = static_cast<double>(context_rules);
+  state.counters["cache_hit_rate"] =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  state.counters["cache_fallbacks"] = static_cast<double>(fallbacks);
+  state.counters["targets_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTargets),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McacLatticeColdCache)->Unit(benchmark::kMillisecond);
+
+// Hot-memo upper bound: the cache outlives iterations, so steady state is
+// all hits — what repeated targets (multi-quarter reruns) approach.
+void BM_McacLatticeHotCache(benchmark::State& state) {
+  const Fixture& fixture = SharedFixture();
+  mining::SubsetSupportCache cache(&fixture.db);
+  const core::McacBuilder builder(&fixture.items, &fixture.db,
+                                  &fixture.lattice, &cache);
+  size_t context_rules = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context_rules =
+                                 BuildAll(builder, fixture.targets));
+  }
+  const uint64_t hits = cache.hits();
+  const uint64_t misses = cache.misses();
+  state.counters["context_rules"] = static_cast<double>(context_rules);
+  state.counters["cache_hit_rate"] =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  state.counters["targets_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kTargets),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McacLatticeHotCache)->Unit(benchmark::kMillisecond);
+
+// Release-mode byte-identity gate (the bench-smoke ctest label): the
+// lattice-backed stage must reproduce the enumeration bytes exactly, at
+// every thread count, and cold-vs-lattice timing is printed so the speedup
+// the baseline JSON records is visible in the smoke log too.
+bool RunSmoke() {
+  const Fixture& fixture = SharedFixture();
+  const RunContext ctx;
+  bool ok = true;
+
+  core::AnalyzerOptions options;
+  options.mining.min_support = 4;
+  options.mining.max_itemset_size = 0;
+
+  std::string want;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    options.mining.num_threads = threads;
+    auto plain = core::BuildRankedStage(
+        fixture.targets, fixture.items, fixture.db,
+        core::RankingMethod::kExclusivenessLift, options, ctx,
+        /*lattice=*/nullptr);
+    MARAS_CHECK(plain.ok()) << plain.status().ToString();
+    auto latticed = core::BuildRankedStage(
+        fixture.targets, fixture.items, fixture.db,
+        core::RankingMethod::kExclusivenessLift, options, ctx,
+        &fixture.lattice);
+    MARAS_CHECK(latticed.ok()) << latticed.status().ToString();
+    const std::string plain_bytes = core::EncodeRankedMcacs(*plain);
+    const std::string lattice_bytes = core::EncodeRankedMcacs(*latticed);
+    std::printf("smoke: enumeration  result-hash %016llx (threads=%zu)\n",
+                static_cast<unsigned long long>(core::Fnv1a64(plain_bytes)),
+                threads);
+    std::printf("smoke: lattice      result-hash %016llx (threads=%zu)\n",
+                static_cast<unsigned long long>(core::Fnv1a64(lattice_bytes)),
+                threads);
+    if (want.empty()) want = plain_bytes;
+    if (plain_bytes != want || lattice_bytes != want) {
+      std::fprintf(stderr,
+                   "smoke: lattice/enumeration bytes diverge at %zu threads\n",
+                   threads);
+      ok = false;
+    }
+  }
+
+  // Informational timing: single-threaded fan-out, enumeration vs lattice.
+  const auto time_pass = [&](const core::McacBuilder& builder) {
+    const auto start = std::chrono::steady_clock::now();
+    const size_t rules = BuildAll(builder, fixture.targets);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    MARAS_CHECK(rules > 0);
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  };
+  const core::McacBuilder plain_builder(&fixture.items, &fixture.db);
+  mining::SubsetSupportCache cache(&fixture.db);
+  const core::McacBuilder lattice_builder(&fixture.items, &fixture.db,
+                                          &fixture.lattice, &cache);
+  const double enum_ms = time_pass(plain_builder);
+  const double lattice_ms = time_pass(lattice_builder);
+  const uint64_t probes = cache.hits() + cache.misses();
+  std::printf(
+      "smoke: fan-out over %zu targets: enumeration %.2f ms, lattice %.2f ms "
+      "(%.1fx), cache hit rate %.2f\n",
+      fixture.targets.size(), enum_ms, lattice_ms,
+      lattice_ms > 0 ? enum_ms / lattice_ms : 0.0,
+      probes == 0 ? 0.0
+                  : static_cast<double>(cache.hits()) /
+                        static_cast<double>(probes));
+
+  if (!ok) std::fprintf(stderr, "smoke: RESULT HASH MISMATCH\n");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maras::bench::BenchMainOptions options =
+      maras::bench::ParseBenchArgs(argc, argv, "BENCH_mcac.json");
+  if (options.smoke) return RunSmoke() ? 0 : 1;
+  return maras::bench::RunBenchmarksToJson(std::move(options), "bench_mcac");
+}

@@ -224,6 +224,7 @@ bool RunSmoke() {
   inputs.signals = &reconstructed->signals;
   inputs.stats = reconstructed->stats;
   inputs.report_ids = &reconstructed->report_ids;
+  inputs.include_lattice = reconstructed->include_lattice;
   auto reencoded = serve::EncodeSignalSnapshot(inputs);
   MARAS_CHECK(reencoded.ok()) << reencoded.status().ToString();
   std::printf("smoke: image        result-hash %016llx (%zu bytes)\n",

@@ -44,7 +44,7 @@ maras::Status Generate(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   std::error_code ec;
   for (const char* sub : {"ascii", "checkpoint", "json", "bitmap",
-                          "snapshot"}) {
+                          "snapshot", "lattice"}) {
     fs::create_directories(root / sub, ec);
     if (ec) {
       return maras::Status::IOError("cannot create " +
@@ -269,6 +269,34 @@ maras::Status Generate(const std::filesystem::path& root) {
   MARAS_RETURN_IF_ERROR(WriteFile(root / "bitmap" / "word64.bin",
                                   bitmap_seed(1, 64, 100,
                                               std::string(80, '\0'))));
+
+  // --- lattice: transaction-bitmask corpora --------------------------------
+  // Layout (see fuzz_lattice.cc): [universe selector][min_support selector]
+  // [one transaction bitmask per byte]. Seeds pin the lattice shapes whose
+  // covering edges differ structurally: a layered chain (each mask a strict
+  // superset of the previous), an antichain of disjoint pairs, and a dense
+  // overlapping mix where closures collapse many subsets per node.
+  const auto lattice_seed = [](unsigned char uni, unsigned char sup,
+                               std::string masks) {
+    std::string out;
+    out.push_back(static_cast<char>(uni));
+    out.push_back(static_cast<char>(sup));
+    out += masks;
+    return out;
+  };
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "lattice" / "chain.bin",
+      lattice_seed(4, 0, std::string(8, '\x01') + std::string(6, '\x03') +
+                             std::string(4, '\x07') + std::string(2, '\x0F'))));
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "lattice" / "antichain.bin",
+      lattice_seed(5, 1, std::string(5, '\x03') + std::string(5, '\x0C') +
+                             std::string(5, '\x60'))));
+  MARAS_RETURN_IF_ERROR(WriteFile(
+      root / "lattice" / "dense.bin",
+      lattice_seed(3, 0, std::string(6, '\x1F') + std::string(5, '\x17') +
+                             std::string(4, '\x0E') + std::string(3, '\x19') +
+                             std::string(7, '\x1C'))));
   return maras::Status::OK();
 }
 

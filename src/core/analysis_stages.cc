@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mining/closed_itemsets.h"
+#include "mining/concept_lattice.h"
 #include "mining/rules.h"
 #include "util/run_context.h"
 #include "util/thread_pool.h"
@@ -99,12 +100,33 @@ maras::StatusOr<std::vector<DrugAdrRule>> BuildRulesStage(
   return rules;
 }
 
+bool LatticeMcacEligible(const AnalyzerOptions& analyzer) {
+  // Exactness gate (concept_lattice.h): every closed node below a
+  // database-closed target is itself database-closed, so the descent needs
+  // either an uncapped family or database-verified targets.
+  return analyzer.lattice_mcac && (analyzer.mining.max_itemset_size == 0 ||
+                                   analyzer.verify_closed_in_db);
+}
+
+maras::StatusOr<mining::ConceptLattice> BuildLatticeStage(
+    const mining::FrequentItemsetResult& closed,
+    const AnalyzerOptions& analyzer, const RunContext& ctx) {
+  MARAS_ASSIGN_OR_RETURN(
+      mining::ConceptLattice lattice,
+      mining::ConceptLattice::Build(closed, analyzer.mining.num_threads, ctx));
+  return lattice;
+}
+
 maras::StatusOr<std::vector<RankedMcac>> BuildRankedStage(
     const std::vector<DrugAdrRule>& rules,
     const mining::ItemDictionary& items,
     const mining::TransactionDatabase& db, RankingMethod method,
-    const AnalyzerOptions& analyzer, const RunContext& ctx) {
-  McacBuilder builder(&items, &db);
+    const AnalyzerOptions& analyzer, const RunContext& ctx,
+    const mining::ConceptLattice* lattice) {
+  mining::SubsetSupportCache cache(&db);
+  McacBuilder builder = lattice != nullptr
+                            ? McacBuilder(&items, &db, lattice, &cache)
+                            : McacBuilder(&items, &db);
   std::vector<std::optional<maras::StatusOr<Mcac>>> built(rules.size());
   maras::Status status = maras::TryParallelFor(
       analyzer.mining.num_threads, rules.size(), ctx,

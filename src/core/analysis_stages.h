@@ -35,12 +35,27 @@ maras::StatusOr<std::vector<DrugAdrRule>> BuildRulesStage(
     const mining::TransactionDatabase& db, const AnalyzerOptions& analyzer,
     const RunContext& ctx);
 
+// True when the lattice-backed MCAC path is both requested and exact for
+// these options (see AnalyzerOptions::lattice_mcac). Callers skip
+// BuildLatticeStage entirely when this is false.
+bool LatticeMcacEligible(const AnalyzerOptions& analyzer);
+
+// Stage 3.5: the concept lattice over the closed family — node arenas plus
+// covering edges, built in parallel, a pure function of `closed`.
+maras::StatusOr<mining::ConceptLattice> BuildLatticeStage(
+    const mining::FrequentItemsetResult& closed,
+    const AnalyzerOptions& analyzer, const RunContext& ctx);
+
 // Stage 4: MCAC construction + contextual ranking for the target rules.
+// With a non-null `lattice`, subset supports resolve as memoized lattice
+// walks (shared SubsetSupportCache across the fan-out); bytes are identical
+// to the nullptr enumeration path.
 maras::StatusOr<std::vector<RankedMcac>> BuildRankedStage(
     const std::vector<DrugAdrRule>& rules,
     const mining::ItemDictionary& items,
     const mining::TransactionDatabase& db, RankingMethod method,
-    const AnalyzerOptions& analyzer, const RunContext& ctx);
+    const AnalyzerOptions& analyzer, const RunContext& ctx,
+    const mining::ConceptLattice* lattice = nullptr);
 
 }  // namespace maras::core
 

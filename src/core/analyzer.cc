@@ -4,7 +4,9 @@
 
 #include <algorithm>
 
+#include "core/analysis_stages.h"
 #include "mining/closed_itemsets.h"
+#include "mining/concept_lattice.h"
 #include "mining/fpgrowth.h"
 #include "mining/rules.h"
 #include "util/run_context.h"
@@ -121,7 +123,21 @@ maras::StatusOr<AnalysisResult> MarasAnalyzer::Analyze(
   MARAS_ASSIGN_OR_RETURN(
       mining::FrequentItemsetResult closed,
       mining::FilterClosed(frequent, options_.mining.num_threads, governed));
-  McacBuilder builder(&items, &db);
+  // Concept-lattice index over the closed family: subset supports inside the
+  // MCAC fan-out below become memoized downward walks instead of per-subset
+  // database intersections, when the lattice path is exact for these options
+  // (see LatticeMcacEligible). One cache is shared by every fan-out task.
+  mining::ConceptLattice lattice_storage;
+  const mining::ConceptLattice* lattice = nullptr;
+  if (LatticeMcacEligible(options_)) {
+    MARAS_ASSIGN_OR_RETURN(lattice_storage,
+                           BuildLatticeStage(closed, options_, governed));
+    lattice = &lattice_storage;
+  }
+  mining::SubsetSupportCache support_cache(&db);
+  McacBuilder builder =
+      lattice != nullptr ? McacBuilder(&items, &db, lattice, &support_cache)
+                         : McacBuilder(&items, &db);
   std::vector<const mining::FrequentItemset*> candidates;
   for (const mining::FrequentItemset& fi : closed.itemsets()) {
     size_t drugs = 0, adrs = 0;

@@ -42,6 +42,15 @@ struct AnalyzerOptions {
   // itemset family (the in-family closedness filter cannot see equal-support
   // supersets beyond the cap); costs one closure computation per candidate.
   bool verify_closed_in_db = true;
+  // Answer MCAC subset-support queries from the concept-lattice index (built
+  // once over the closed family) with a shared cross-target memo, instead of
+  // re-counting each subset from the transaction database. Output bytes are
+  // identical either way — the lattice differential oracle proves it — so
+  // this is purely a speed knob, kept as a knob so the oracle can force the
+  // enumeration path. The lattice path engages only when it is exact: the
+  // mine was uncapped (mining.max_itemset_size == 0) or verify_closed_in_db
+  // guarantees database-closed targets.
+  bool lattice_mcac = true;
   // Graceful degradation for governed runs (mining.context with a budget).
   DegradationOptions degradation;
 };

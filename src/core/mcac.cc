@@ -1,6 +1,7 @@
 #include "core/mcac.h"
 
 #include <algorithm>
+#include <string>
 
 #include "mining/measures.h"
 
@@ -12,28 +13,59 @@ size_t Mcac::ContextSize() const {
   return count;
 }
 
-maras::StatusOr<Mcac> McacBuilder::Build(const DrugAdrRule& target) const {
-  if (target.drugs.size() < 2) {
+maras::StatusOr<uint64_t> Mcac::ExpectedContextSize(size_t drug_count) {
+  if (drug_count < 2) {
     return maras::Status::InvalidArgument(
-        "MCAC target must combine at least two drugs");
+        "MCAC target must combine at least two drugs, got " +
+        std::to_string(drug_count));
   }
-  if (target.drugs.size() > 20) {
-    return maras::Status::InvalidArgument("target antecedent too large");
+  if (drug_count >= 64) {
+    return maras::Status::InvalidArgument(
+        "context size 2^" + std::to_string(drug_count) +
+        " − 2 overflows uint64_t");
+  }
+  return (uint64_t{1} << drug_count) - 2;
+}
+
+maras::StatusOr<Mcac> McacBuilder::Build(const DrugAdrRule& target) const {
+  MARAS_ASSIGN_OR_RETURN(const uint64_t expected_contexts,
+                         Mcac::ExpectedContextSize(target.drugs.size()));
+  if (target.drugs.size() > kMaxMcacAntecedentDrugs) {
+    return maras::Status::InvalidArgument(
+        "target antecedent of " + std::to_string(target.drugs.size()) +
+        " drugs exceeds the enumeration bound of " +
+        std::to_string(kMaxMcacAntecedentDrugs) + " (context would hold " +
+        std::to_string(expected_contexts) + " rules)");
   }
   Mcac mcac;
   mcac.target = target;
   mcac.levels.resize(target.drugs.size() - 1);
 
-  const size_t consequent_support = db_->Support(target.adrs);
+  // With a lattice, every subset support — including the shared consequent —
+  // is a memoized downward walk from the target's concept. Targets the
+  // lattice does not hold (it was built from a differently filtered family)
+  // keep lattice_node == kNotFound, which routes each cache probe to the
+  // bitmap-kernel fallback: still exact, still memoized across targets.
+  const bool cached = lattice_ != nullptr && cache_ != nullptr;
+  uint32_t lattice_node = mining::ConceptLattice::kNotFound;
+  if (cached) lattice_node = lattice_->FindNode(target.CompleteItemset());
+  auto support_of = [&](const mining::Itemset& s) -> size_t {
+    if (cached) {
+      return static_cast<size_t>(cache_->Support(s, lattice_, lattice_node));
+    }
+    return db_->Support(s);
+  };
+
+  const size_t consequent_support = support_of(target.adrs);
   const size_t n = db_->size();
   mining::ForEachProperSubset(
       target.drugs, [&](const mining::Itemset& subset) {
         DrugAdrRule context;
         context.drugs = subset;
         context.adrs = target.adrs;
-        context.antecedent_support = db_->Support(subset);
+        context.antecedent_support = support_of(subset);
         context.consequent_support = consequent_support;
-        context.support = db_->Support(mining::Union(subset, target.adrs));
+        context.support = support_of(mining::Union(subset, target.adrs));
         context.confidence =
             mining::Confidence(context.support, context.antecedent_support);
         context.lift = mining::Lift(context.support,

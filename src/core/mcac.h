@@ -1,14 +1,22 @@
 #ifndef MARAS_CORE_MCAC_H_
 #define MARAS_CORE_MCAC_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/drug_adr_rule.h"
+#include "mining/concept_lattice.h"
 #include "mining/item_dictionary.h"
 #include "mining/transaction_db.h"
 #include "util/statusor.h"
 
 namespace maras::core {
+
+// Largest antecedent the context enumeration accepts: 2^20 − 2 subsets is
+// already ~10^6 rules per cluster, far past anything the paper's 2-4 drug
+// combinations produce. Larger targets get a structured InvalidArgument
+// (never a silent cap or a crash).
+inline constexpr size_t kMaxMcacAntecedentDrugs = 20;
 
 // Multi-level Contextual Association Cluster (Section 3.5): a target
 // drug-ADR rule R ≡ A ⇒ B together with its complete context — every rule
@@ -21,26 +29,46 @@ struct Mcac {
   // confidence (the glyph's within-level order).
   std::vector<std::vector<DrugAdrRule>> levels;
 
-  // Number of contextual rules across all levels: 2^n − 2.
+  // Number of contextual rules actually present across all levels.
   size_t ContextSize() const;
+
+  // The 2^n − 2 context size an n-drug antecedent implies, computed in
+  // uint64_t with an explicit overflow guard: n < 2 and n >= 64 both return
+  // InvalidArgument instead of wrapping or capping.
+  static maras::StatusOr<uint64_t> ExpectedContextSize(size_t drug_count);
 };
 
-// Builds MCACs from target rules with exact context supports counted from
-// the transaction database (contextual subsets routinely fall below the
-// mining support threshold, so their supports cannot come from the mined
-// result).
+// Builds MCACs from target rules with exact context supports. The default
+// construction counts every subset from the transaction database
+// (contextual subsets routinely fall below the mining support threshold,
+// so their supports cannot come from the mined result). When a concept
+// lattice and a shared support cache are supplied, subset supports resolve
+// as downward lattice walks memoized across targets instead — byte-identical
+// output (the lattice differential oracle proves it), sublinear work.
 class McacBuilder {
  public:
   McacBuilder(const mining::ItemDictionary* items,
               const mining::TransactionDatabase* db)
       : items_(items), db_(db) {}
 
-  // The target must have >= 2 drugs and <= 20 (subset enumeration bound).
+  // Lattice-backed variant. `lattice` must satisfy the descent exactness
+  // precondition (see concept_lattice.h) for every target passed to Build;
+  // targets absent from the lattice fall back to cached bitmap-kernel
+  // counting per subset. `cache` is shared across builders and threads.
+  McacBuilder(const mining::ItemDictionary* items,
+              const mining::TransactionDatabase* db,
+              const mining::ConceptLattice* lattice,
+              mining::SubsetSupportCache* cache)
+      : items_(items), db_(db), lattice_(lattice), cache_(cache) {}
+
+  // The target must have >= 2 drugs and <= kMaxMcacAntecedentDrugs.
   maras::StatusOr<Mcac> Build(const DrugAdrRule& target) const;
 
  private:
   const mining::ItemDictionary* items_;
   const mining::TransactionDatabase* db_;
+  const mining::ConceptLattice* lattice_ = nullptr;
+  mining::SubsetSupportCache* cache_ = nullptr;
 };
 
 }  // namespace maras::core

@@ -451,8 +451,20 @@ maras::StatusOr<SurveillanceAnalysis> MultiQuarterPipeline::RunAnalyzed(
   if (ranked_resumed) {
     ++out.stages_resumed;
   } else {
+    // The lattice is rebuilt (never checkpointed): it is a pure function of
+    // the closed family, cheaper to reconstruct than to persist, and a
+    // resumed "ranked" stage skips it entirely.
+    mining::ConceptLattice lattice_storage;
+    const mining::ConceptLattice* lattice = nullptr;
+    if (LatticeMcacEligible(analyzer)) {
+      MARAS_ASSIGN_OR_RETURN(
+          lattice_storage,
+          BuildLatticeStage(closed_stage.closed, analyzer, ctx));
+      lattice = &lattice_storage;
+    }
     MARAS_ASSIGN_OR_RETURN(
-        ranked, BuildRankedStage(rules, items, db, method, analyzer, ctx));
+        ranked,
+        BuildRankedStage(rules, items, db, method, analyzer, ctx, lattice));
     if (checkpointing) {
       MARAS_RETURN_IF_ERROR(WriteCheckpoint(options_.checkpoint_dir, "ranked",
                                             EncodeRankedMcacs(ranked)));

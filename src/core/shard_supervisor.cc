@@ -622,8 +622,17 @@ maras::StatusOr<SurveillanceAnalysis> ShardSupervisor::RunAnalyzed(
 
   MARAS_RETURN_IF_ERROR(ctx.Check());
   std::vector<RankedMcac> ranked;
+  mining::ConceptLattice lattice_storage;
+  const mining::ConceptLattice* lattice = nullptr;
+  if (LatticeMcacEligible(analyzer)) {
+    MARAS_ASSIGN_OR_RETURN(
+        lattice_storage,
+        BuildLatticeStage(closed_stage.closed, analyzer, ctx));
+    lattice = &lattice_storage;
+  }
   MARAS_ASSIGN_OR_RETURN(
-      ranked, BuildRankedStage(rules, items, db, method, analyzer, ctx));
+      ranked,
+      BuildRankedStage(rules, items, db, method, analyzer, ctx, lattice));
   MARAS_RETURN_IF_ERROR(
       WriteCheckpoint(dir, "ranked", EncodeRankedMcacs(ranked)));
   MARAS_RETURN_IF_ERROR(FireStageHook(pipeline, "ranked"));

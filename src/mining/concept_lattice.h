@@ -1,0 +1,200 @@
+#ifndef MARAS_MINING_CONCEPT_LATTICE_H_
+#define MARAS_MINING_CONCEPT_LATTICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mining/bitmap.h"
+#include "mining/flat_table.h"
+#include "mining/frequent_itemsets.h"
+#include "mining/itemset.h"
+#include "mining/transaction_db.h"
+#include "util/statusor.h"
+
+namespace maras {
+struct RunContext;
+}  // namespace maras
+
+namespace maras::mining {
+
+// ---------------------------------------------------------------------------
+// Concept lattice over the mined closed family.
+//
+// Closed itemsets are exactly the (intents of the) concepts of formal
+// concept analysis, and MCAC gathering is a proper-subset-antecedent query:
+// every contextual rule's support is the support of some closed set below
+// the target concept, because supp(X) = supp(closure(X)) and closure(X) is
+// contained in any database-closed superset of X. The lattice stores the
+// covering (Hasse) edges between closed sets once, built in parallel after
+// mining, so per-target subset supports become short downward walks instead
+// of whole-database tid-list intersections.
+//
+// Layout follows the PR-4 flat SoA discipline: one ItemId pool plus begin
+// offsets for the node itemsets, one uint64 support lane, and two CSR edge
+// arenas (covered subsets / covering supersets), all 32-bit indexed. Node
+// ids are positions in the canonical closed order, so the lattice is a pure
+// function of the closed family — identical at any thread count.
+//
+// Exactness precondition for DescendToClosure (proved by the differential
+// oracle, relied on by McacBuilder): the walk returns closure(X)'s node
+// when the start node's itemset is database-closed and every database-closed
+// subset of it above the mining threshold is present in the family. Both
+// hold when the mine was uncapped (max_itemset_size == 0) or targets are
+// verified closed in the database — the closed filter then removes any
+// capped pseudo-closed set below a verified target, because its closure
+// also fits under the cap.
+// ---------------------------------------------------------------------------
+
+// Borrowed view over a contiguous run of one of the flat arenas.
+template <typename T>
+struct LatticeSpan {
+  const T* ptr = nullptr;
+  size_t count = 0;
+
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  T operator[](size_t i) const { return ptr[i]; }
+};
+
+class ConceptLattice {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  ConceptLattice() = default;
+
+  // Builds nodes and covering edges from the (canonically sorted) closed
+  // family. The per-node edge fan-out runs on `num_threads` workers and
+  // polls `ctx` at a bounded interval; output is byte-identical at any
+  // thread count. Fails on families past 32-bit node indexing.
+  static maras::StatusOr<ConceptLattice> Build(
+      const FrequentItemsetResult& closed, size_t num_threads,
+      const RunContext& ctx);
+
+  size_t node_count() const { return support_.size(); }
+  // Number of covering edges (counted once, not per direction).
+  size_t edge_count() const { return subsets_.size(); }
+
+  // The node's itemset, ascending ItemIds inside the shared pool.
+  LatticeSpan<ItemId> NodeItems(uint32_t node) const {
+    return {item_pool_.data() + node_item_begin_[node],
+            node_item_begin_[node + 1] - node_item_begin_[node]};
+  }
+  uint64_t NodeSupport(uint32_t node) const { return support_[node]; }
+
+  // Covering edges, node ids ascending. Subsets = maximal closed proper
+  // subsets (the "generalize" direction); Supersets = minimal closed proper
+  // supersets ("specialize").
+  LatticeSpan<uint32_t> Subsets(uint32_t node) const {
+    return {subsets_.data() + subset_begin_[node],
+            subset_begin_[node + 1] - subset_begin_[node]};
+  }
+  LatticeSpan<uint32_t> Supersets(uint32_t node) const {
+    return {supersets_.data() + superset_begin_[node],
+            superset_begin_[node + 1] - superset_begin_[node]};
+  }
+
+  // Node whose itemset equals `s`, or kNotFound.
+  uint32_t FindNode(const Itemset& s) const;
+
+  // True when `subset` ⊆ the node's itemset.
+  bool NodeContains(uint32_t node, const Itemset& subset) const;
+
+  // Greedy downward walk: starting from `start` (which must contain
+  // `subset`), repeatedly steps to the first covered subset still containing
+  // `subset`; the node where no step remains is returned. Under the
+  // exactness precondition above this is closure(subset)'s node, so its
+  // support is supp(subset).
+  uint32_t DescendToClosure(uint32_t start, const Itemset& subset) const;
+
+  // Resident bytes of the arenas (capacity-based), for budget charging.
+  size_t MemoryFootprint() const;
+
+ private:
+  struct IndexSlot {
+    uint64_t hash = 0;
+    uint32_t node = kNotFound;  // kNotFound doubles as the empty marker
+  };
+
+  void BuildNodeIndex();
+
+  std::vector<ItemId> item_pool_;
+  std::vector<uint32_t> node_item_begin_;  // node_count() + 1 offsets
+  std::vector<uint64_t> support_;
+
+  std::vector<uint32_t> subset_begin_;  // CSR over subsets_
+  std::vector<uint32_t> subsets_;
+  std::vector<uint32_t> superset_begin_;  // CSR over supersets_
+  std::vector<uint32_t> supersets_;
+
+  // Open-addressed exact-match index over the pooled node itemsets (the
+  // FlatItemsetIndex idiom, hand-rolled because keys live in the pool, not
+  // in caller-owned Itemset vectors).
+  std::vector<IndexSlot> index_slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Cross-target subset-support memo for MCAC construction. Targets overlap
+// heavily in drug subsets (and share consequents outright), so one cache is
+// shared by every McacBuilder::Build fan-out task. A probe resolves in
+// order: memo hit -> lattice descent from the target's node -> bitmap-kernel
+// intersection over lazily cached per-item TidBitmaps (the only path that
+// touches the database, taken when no closed node covers the subset — e.g.
+// when the caller could not locate the target in the lattice).
+//
+// Every path returns the exact database support, so the cache never affects
+// output bytes — only speed. Thread-safe: the memo is sharded by itemset
+// hash, each shard a mutex + flat keys/values + open-addressed index.
+// ---------------------------------------------------------------------------
+class SubsetSupportCache {
+ public:
+  explicit SubsetSupportCache(const TransactionDatabase* db);
+
+  SubsetSupportCache(const SubsetSupportCache&) = delete;
+  SubsetSupportCache& operator=(const SubsetSupportCache&) = delete;
+
+  // Exact support of `s` (non-empty). `lattice`/`target_node` may be
+  // nullptr/kNotFound to force the bitmap fallback; when given, `target_node`
+  // must contain `s` and satisfy the descent precondition.
+  uint64_t Support(const Itemset& s, const ConceptLattice* lattice,
+                   uint32_t target_node);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Misses that had no lattice node to descend from (bitmap-kernel path).
+  uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::vector<Itemset> keys;
+    std::vector<uint64_t> values;
+    FlatItemsetIndex index;
+  };
+
+  // |∩ tidlists of s| via dense TidBitmap AND + popcount kernels.
+  uint64_t BitmapSupport(const Itemset& s);
+  const TidBitmap& ItemBitmap(ItemId item);
+
+  static constexpr size_t kShardCount = 64;  // power of two
+
+  const TransactionDatabase* db_;
+  std::vector<Shard> shards_;  // fixed at kShardCount, never reallocated
+
+  std::mutex bitmap_mu_;
+  std::vector<std::unique_ptr<TidBitmap>> item_bitmaps_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+};
+
+}  // namespace maras::mining
+
+#endif  // MARAS_MINING_CONCEPT_LATTICE_H_

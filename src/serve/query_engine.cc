@@ -64,6 +64,20 @@ maras::StatusOr<std::vector<uint64_t>> QueryEngine::SupportingReportIds(
   return out;
 }
 
+maras::StatusOr<std::vector<uint32_t>> QueryEngine::Generalize(
+    uint32_t signal) const {
+  std::vector<uint32_t> out;
+  MARAS_RETURN_IF_ERROR(snapshot_->Generalizations(signal, &out));
+  return out;
+}
+
+maras::StatusOr<std::vector<uint32_t>> QueryEngine::Specialize(
+    uint32_t signal) const {
+  std::vector<uint32_t> out;
+  MARAS_RETURN_IF_ERROR(snapshot_->Specializations(signal, &out));
+  return out;
+}
+
 maras::StatusOr<core::RankedMcac> QueryEngine::Materialize(
     uint32_t signal) const {
   return snapshot_->Materialize(signal);

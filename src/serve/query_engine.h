@@ -49,6 +49,15 @@ class QueryEngine {
   maras::StatusOr<std::vector<uint64_t>> SupportingReportIds(
       uint32_t signal) const;
 
+  // Lattice drill-down: signals one covering step up (fewer drugs, same
+  // ADRs) or down from `signal`, in ascending index order. NotFound when
+  // the snapshot was written without lattice navigation.
+  maras::StatusOr<std::vector<uint32_t>> Generalize(uint32_t signal) const;
+  maras::StatusOr<std::vector<uint32_t>> Specialize(uint32_t signal) const;
+
+  // True when the pinned snapshot carries lattice navigation.
+  bool HasLatticeNav() const { return snapshot_->has_lattice_nav(); }
+
   // Full analyzer-side reconstruction of one signal.
   maras::StatusOr<core::RankedMcac> Materialize(uint32_t signal) const;
 

@@ -49,10 +49,12 @@ namespace maras::serve {
 
 // "MSNP" read as a little-endian u32.
 inline constexpr uint32_t kSnapshotMagic = 0x504e534d;
-inline constexpr uint32_t kSnapshotVersion = 1;
+// v2 added the optional lattice-navigation sections (generalize/specialize
+// covering edges between stored signals) and their two meta counts.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 enum class SectionId : uint32_t {
-  kMeta = 1,          // counts + rule-space stats (fixed 64 bytes)
+  kMeta = 1,          // counts + rule-space stats (fixed 72 bytes)
   kStrings = 2,       // concatenated item-name bytes
   kItems = 3,         // per item: name_offset, name_length, domain
   kRules = 4,         // flattened rule records (targets + context rules)
@@ -63,19 +65,26 @@ enum class SectionId : uint32_t {
   kAdrPostings = 9,   // per item: (offset, count) into the posting pool
   kPostingPool = 10,  // u32 signal indices, ascending per list
   kReportIdPool = 11, // u64 report primary-ids, grouped by signal
+  kLatticeNav = 12,   // per signal: generalize/specialize edge-pool extents
+  kLatticeEdgePool = 13,  // u32 signal indices backing the nav lists
 };
 
-inline constexpr uint32_t kSectionCount = 11;
+inline constexpr uint32_t kSectionCount = 13;
 
 // The one canonical section order; the writer emits it and the reader
 // rejects any other (a reordered table is a forged file, not a variant).
+// The lattice sections are "optional" by content, not by presence: a
+// snapshot written without lattice navigation carries them empty (and a
+// zero kMetaLatticeNavCount), so the tiling and checksum discipline is
+// uniform across every snapshot.
 inline constexpr SectionId kSectionOrder[kSectionCount] = {
     SectionId::kMeta,         SectionId::kStrings,
     SectionId::kItems,        SectionId::kRules,
     SectionId::kSignals,      SectionId::kLevels,
     SectionId::kItemIdPool,   SectionId::kDrugPostings,
     SectionId::kAdrPostings,  SectionId::kPostingPool,
-    SectionId::kReportIdPool,
+    SectionId::kReportIdPool, SectionId::kLatticeNav,
+    SectionId::kLatticeEdgePool,
 };
 
 // Fixed header/record geometry. Field offsets below are relative to the
@@ -86,8 +95,12 @@ inline constexpr SectionId kSectionOrder[kSectionCount] = {
 inline constexpr size_t kFileHeaderBytes = 24;
 inline constexpr size_t kSectionEntryBytes = 24;
 
-// kMeta payload: eight u32 counts, then the four u64 RuleSpaceStats fields.
-inline constexpr size_t kMetaBytes = 8 * 4 + 4 * 8;
+// kMeta payload: eight u32 counts, the four u64 RuleSpaceStats fields, then
+// the two u32 lattice counts appended by v2. kMetaLatticeNavCount is the
+// presence flag for the lattice sections: it equals the signal count when
+// navigation was written and 0 when it was not (with zero signals the two
+// encodings coincide, so the ambiguity is harmless).
+inline constexpr size_t kMetaBytes = 8 * 4 + 4 * 8 + 2 * 4;
 inline constexpr size_t kMetaSignalCount = 0;
 inline constexpr size_t kMetaItemCount = 4;
 inline constexpr size_t kMetaRuleCount = 8;
@@ -100,6 +113,8 @@ inline constexpr size_t kMetaStatsTotalRules = 32;
 inline constexpr size_t kMetaStatsFilteredRules = 40;
 inline constexpr size_t kMetaStatsClosedMixed = 48;
 inline constexpr size_t kMetaStatsMcacCount = 56;
+inline constexpr size_t kMetaLatticeNavCount = 64;
+inline constexpr size_t kMetaLatticeEdgeCount = 68;
 
 // kItems record: {name_offset u32, name_length u32, domain u32}.
 inline constexpr size_t kItemRecordBytes = 12;
@@ -144,9 +159,23 @@ inline constexpr size_t kPostingRecordBytes = 8;
 inline constexpr size_t kPostingOffset = 0;
 inline constexpr size_t kPostingCount = 4;
 
+// kLatticeNav record: {gen_offset u32, gen_count u32, spec_offset u32,
+// spec_count u32}. Offsets are element indices into kLatticeEdgePool; one
+// record per signal, in rank order. "Generalizations" of signal s are the
+// signals with the same ADR set whose drug set is a maximal proper subset
+// of s's (one covering step up the concept lattice); "specializations" are
+// the inverse relation. Each list is sorted ascending, and the pool is
+// packed canonically: per signal, gen list then spec list, in signal order.
+inline constexpr size_t kLatticeNavRecordBytes = 16;
+inline constexpr size_t kLatticeNavGenOffset = 0;
+inline constexpr size_t kLatticeNavGenCount = 4;
+inline constexpr size_t kLatticeNavSpecOffset = 8;
+inline constexpr size_t kLatticeNavSpecCount = 12;
+
 inline constexpr size_t kItemIdPoolElemBytes = 4;
 inline constexpr size_t kPostingPoolElemBytes = 4;
 inline constexpr size_t kReportIdPoolElemBytes = 8;
+inline constexpr size_t kLatticeEdgePoolElemBytes = 4;
 
 }  // namespace maras::serve
 

@@ -1,5 +1,6 @@
 #include "serve/snapshot_reader.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -104,6 +105,38 @@ maras::Status ReadPostingRec(const BoundedView& postings, uint32_t index,
   MARAS_RETURN_IF_ERROR(postings.U32At(base + kPostingOffset, &out->offset));
   MARAS_RETURN_IF_ERROR(postings.U32At(base + kPostingCount, &out->count));
   return maras::Status::OK();
+}
+
+struct LatticeNavRec {
+  uint32_t gen_off = 0;
+  uint32_t gen_count = 0;
+  uint32_t spec_off = 0;
+  uint32_t spec_count = 0;
+};
+
+maras::Status ReadLatticeNavRec(const BoundedView& nav, uint32_t index,
+                                LatticeNavRec* out) {
+  const size_t base = size_t{index} * kLatticeNavRecordBytes;
+  MARAS_RETURN_IF_ERROR(nav.U32At(base + kLatticeNavGenOffset, &out->gen_off));
+  MARAS_RETURN_IF_ERROR(nav.U32At(base + kLatticeNavGenCount, &out->gen_count));
+  MARAS_RETURN_IF_ERROR(
+      nav.U32At(base + kLatticeNavSpecOffset, &out->spec_off));
+  MARAS_RETURN_IF_ERROR(
+      nav.U32At(base + kLatticeNavSpecCount, &out->spec_count));
+  return maras::Status::OK();
+}
+
+// True iff `a` is a proper subset of `b`; both strictly increasing.
+bool IsProperSubset(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+  if (a.size() >= b.size()) return false;
+  size_t j = 0;
+  for (uint32_t id : a) {
+    while (j < b.size() && b[j] < id) ++j;
+    if (j == b.size() || b[j] != id) return false;
+    ++j;
+  }
+  return true;
 }
 
 }  // namespace
@@ -234,6 +267,20 @@ maras::Status SignalSnapshot::Init(BoundedView file) {
   MARAS_RETURN_IF_ERROR(
       meta.U64At(kMetaStatsClosedMixed, &stats_.closed_mixed));
   MARAS_RETURN_IF_ERROR(meta.U64At(kMetaStatsMcacCount, &stats_.mcac_count));
+  MARAS_RETURN_IF_ERROR(meta.U32At(kMetaLatticeNavCount, &counts_.lattice_nav));
+  MARAS_RETURN_IF_ERROR(
+      meta.U32At(kMetaLatticeEdgeCount, &counts_.lattice_edges));
+  // The lattice is all-or-nothing: navigation covers every signal or none.
+  if (counts_.lattice_nav != 0 && counts_.lattice_nav != counts_.signals) {
+    return maras::Status::Corruption(
+        "lattice nav count " + std::to_string(counts_.lattice_nav) +
+        " covers neither all " + std::to_string(counts_.signals) +
+        " signals nor none");
+  }
+  if (counts_.lattice_nav == 0 && counts_.lattice_edges != 0) {
+    return maras::Status::Corruption(
+        "lattice edge pool without lattice navigation");
+  }
 
   const auto check_geometry = [this](SectionId id, uint64_t count,
                                      size_t elem_bytes,
@@ -272,12 +319,20 @@ maras::Status SignalSnapshot::Init(BoundedView file) {
                                        counts_.report_ids,
                                        kReportIdPoolElemBytes,
                                        "report-id pool"));
+  MARAS_RETURN_IF_ERROR(check_geometry(SectionId::kLatticeNav,
+                                       counts_.lattice_nav,
+                                       kLatticeNavRecordBytes, "lattice nav"));
+  MARAS_RETURN_IF_ERROR(check_geometry(SectionId::kLatticeEdgePool,
+                                       counts_.lattice_edges,
+                                       kLatticeEdgePoolElemBytes,
+                                       "lattice edge pool"));
 
   // --- Semantics ----------------------------------------------------------
   MARAS_RETURN_IF_ERROR(ValidateItems());
   MARAS_RETURN_IF_ERROR(ValidateRules());
   MARAS_RETURN_IF_ERROR(ValidateSignals());
   MARAS_RETURN_IF_ERROR(ValidatePostings());
+  MARAS_RETURN_IF_ERROR(ValidateLattice());
   return maras::Status::OK();
 }
 
@@ -548,6 +603,129 @@ maras::Status SignalSnapshot::ValidatePostings() const {
   return maras::Status::OK();
 }
 
+maras::Status SignalSnapshot::ValidateLattice() const {
+  if (counts_.lattice_nav == 0) return maras::Status::OK();
+  const BoundedView& signals = sections_[SectionIndex(SectionId::kSignals)];
+  const BoundedView& rules = sections_[SectionIndex(SectionId::kRules)];
+  const BoundedView& id_pool = sections_[SectionIndex(SectionId::kItemIdPool)];
+  const BoundedView& nav = sections_[SectionIndex(SectionId::kLatticeNav)];
+  const BoundedView& pool =
+      sections_[SectionIndex(SectionId::kLatticeEdgePool)];
+
+  // Like postings, the lattice lists carry no information of their own —
+  // they are the covering relation of the signal targets. Re-derive it and
+  // demand an exact match, so forged edges can never steer a drill-down to
+  // an unrelated signal.
+  std::vector<std::vector<uint32_t>> drugs(counts_.signals);
+  std::vector<std::vector<uint32_t>> adrs(counts_.signals);
+  for (uint32_t s = 0; s < counts_.signals; ++s) {
+    uint32_t target_rule = 0;
+    MARAS_RETURN_IF_ERROR(signals.U32At(
+        size_t{s} * kSignalRecordBytes + kSignalTargetRule, &target_rule));
+    RuleRec rec;
+    MARAS_RETURN_IF_ERROR(ReadRuleRec(rules, target_rule, &rec));
+    drugs[s].reserve(rec.drugs_count);
+    for (uint32_t j = 0; j < rec.drugs_count; ++j) {
+      uint32_t id = 0;
+      MARAS_RETURN_IF_ERROR(id_pool.U32At(
+          (uint64_t{rec.drugs_off} + j) * kItemIdPoolElemBytes, &id));
+      drugs[s].push_back(id);
+    }
+    adrs[s].reserve(rec.adrs_count);
+    for (uint32_t j = 0; j < rec.adrs_count; ++j) {
+      uint32_t id = 0;
+      MARAS_RETURN_IF_ERROR(id_pool.U32At(
+          (uint64_t{rec.adrs_off} + j) * kItemIdPoolElemBytes, &id));
+      adrs[s].push_back(id);
+    }
+  }
+  std::vector<uint32_t> order(counts_.signals);
+  for (uint32_t i = 0; i < counts_.signals; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (adrs[a] != adrs[b]) return adrs[a] < adrs[b];
+    return a < b;
+  });
+  std::vector<std::vector<uint32_t>> gen(counts_.signals);
+  size_t group_begin = 0;
+  while (group_begin < order.size()) {
+    size_t group_end = group_begin + 1;
+    while (group_end < order.size() &&
+           adrs[order[group_end]] == adrs[order[group_begin]]) {
+      ++group_end;
+    }
+    for (size_t i = group_begin; i < group_end; ++i) {
+      const uint32_t s = order[i];
+      std::vector<uint32_t> below;
+      for (size_t j = group_begin; j < group_end; ++j) {
+        const uint32_t t = order[j];
+        if (t != s && IsProperSubset(drugs[t], drugs[s])) below.push_back(t);
+      }
+      for (uint32_t t : below) {
+        bool maximal = true;
+        for (uint32_t u : below) {
+          if (u != t && IsProperSubset(drugs[t], drugs[u])) {
+            maximal = false;
+            break;
+          }
+        }
+        if (maximal) gen[s].push_back(t);
+      }
+      std::sort(gen[s].begin(), gen[s].end());
+    }
+    group_begin = group_end;
+  }
+  std::vector<std::vector<uint32_t>> spec(counts_.signals);
+  for (uint32_t s = 0; s < counts_.signals; ++s) {
+    for (uint32_t t : gen[s]) spec[t].push_back(s);
+  }
+
+  uint64_t edge_cursor = 0;
+  const auto check_list = [&](uint32_t s, uint32_t off, uint32_t count,
+                              const std::vector<uint32_t>& want,
+                              const char* kind) -> maras::Status {
+    const std::string where = "lattice " + std::string(kind) +
+                              " of signal " + std::to_string(s);
+    if (off != edge_cursor) {
+      return maras::Status::Corruption(
+          where + ": offset " + std::to_string(off) +
+          " breaks canonical edge packing (expected " +
+          std::to_string(edge_cursor) + ")");
+    }
+    if (count != want.size()) {
+      return maras::Status::Corruption(
+          where + ": " + std::to_string(count) +
+          " entries, derivation from targets yields " +
+          std::to_string(want.size()));
+    }
+    for (uint32_t j = 0; j < count; ++j) {
+      uint32_t entry = 0;
+      MARAS_RETURN_IF_ERROR(pool.U32At(
+          (uint64_t{off} + j) * kLatticeEdgePoolElemBytes, &entry));
+      if (entry != want[j]) {
+        return maras::Status::Corruption(
+            where + " entry " + std::to_string(j) +
+            " disagrees with derivation from targets");
+      }
+    }
+    edge_cursor += count;
+    return maras::Status::OK();
+  };
+  for (uint32_t s = 0; s < counts_.signals; ++s) {
+    LatticeNavRec rec;
+    MARAS_RETURN_IF_ERROR(ReadLatticeNavRec(nav, s, &rec));
+    MARAS_RETURN_IF_ERROR(
+        check_list(s, rec.gen_off, rec.gen_count, gen[s], "generalizations"));
+    MARAS_RETURN_IF_ERROR(check_list(s, rec.spec_off, rec.spec_count, spec[s],
+                                     "specializations"));
+  }
+  if (edge_cursor != counts_.lattice_edges) {
+    return maras::Status::Corruption(
+        "lattice edge pool holds " + std::to_string(counts_.lattice_edges) +
+        " entries but lists cover " + std::to_string(edge_cursor));
+  }
+  return maras::Status::OK();
+}
+
 maras::Status SignalSnapshot::ItemName(uint32_t item,
                                        std::string_view* name) const {
   MARAS_RETURN_IF_ERROR(CheckIndex(item, counts_.items, "item"));
@@ -648,6 +826,40 @@ maras::Status SignalSnapshot::Postings(mining::ItemDomain side, uint32_t item,
   return maras::Status::OK();
 }
 
+maras::Status SignalSnapshot::LatticeList(uint32_t signal, bool spec,
+                                          std::vector<uint32_t>* out) const {
+  MARAS_RETURN_IF_ERROR(CheckIndex(signal, counts_.signals, "signal"));
+  if (counts_.lattice_nav == 0) {
+    return maras::Status::NotFound("snapshot carries no lattice navigation");
+  }
+  LatticeNavRec rec;
+  MARAS_RETURN_IF_ERROR(ReadLatticeNavRec(
+      sections_[SectionIndex(SectionId::kLatticeNav)], signal, &rec));
+  const uint32_t off = spec ? rec.spec_off : rec.gen_off;
+  const uint32_t count = spec ? rec.spec_count : rec.gen_count;
+  const BoundedView& pool =
+      sections_[SectionIndex(SectionId::kLatticeEdgePool)];
+  out->clear();
+  out->reserve(count);
+  for (uint32_t j = 0; j < count; ++j) {
+    uint32_t entry = 0;
+    MARAS_RETURN_IF_ERROR(pool.U32At(
+        (uint64_t{off} + j) * kLatticeEdgePoolElemBytes, &entry));
+    out->push_back(entry);
+  }
+  return maras::Status::OK();
+}
+
+maras::Status SignalSnapshot::Generalizations(
+    uint32_t signal, std::vector<uint32_t>* out) const {
+  return LatticeList(signal, /*spec=*/false, out);
+}
+
+maras::Status SignalSnapshot::Specializations(
+    uint32_t signal, std::vector<uint32_t>* out) const {
+  return LatticeList(signal, /*spec=*/true, out);
+}
+
 maras::StatusOr<core::RankedMcac> SignalSnapshot::Materialize(
     uint32_t index) const {
   SignalRecord rec;
@@ -672,6 +884,10 @@ maras::StatusOr<ReconstructedInputs> ReconstructInputs(
     const SignalSnapshot& snapshot) {
   ReconstructedInputs out;
   out.stats = snapshot.stats();
+  // With zero signals the lattice-present and lattice-absent encodings
+  // coincide, so defaulting to "present" keeps the round-trip exact.
+  out.include_lattice =
+      snapshot.counts().signals == 0 || snapshot.has_lattice_nav();
   for (uint32_t i = 0; i < snapshot.counts().items; ++i) {
     std::string_view name;
     MARAS_RETURN_IF_ERROR(snapshot.ItemName(i, &name));

@@ -16,7 +16,9 @@
 
 namespace maras::serve {
 
-// The eight u32 counts of the kMeta section.
+// The u32 counts of the kMeta section. `lattice_nav` doubles as the
+// lattice-presence flag: equal to `signals` when the writer emitted
+// navigation, 0 when it did not.
 struct SnapshotCounts {
   uint32_t signals = 0;
   uint32_t items = 0;
@@ -26,6 +28,8 @@ struct SnapshotCounts {
   uint32_t postings = 0;
   uint32_t report_ids = 0;
   uint32_t string_bytes = 0;
+  uint32_t lattice_nav = 0;
+  uint32_t lattice_edges = 0;
 };
 
 // Decoded kSignals record (indices into sibling sections; see
@@ -90,6 +94,18 @@ class SignalSnapshot {
   maras::Status Postings(mining::ItemDomain side, uint32_t item,
                          std::vector<uint32_t>* out) const;
 
+  // True when the snapshot carries lattice navigation (writer-side
+  // include_lattice and at least one signal).
+  bool has_lattice_nav() const { return counts_.lattice_nav != 0; }
+
+  // Ascending signal indices one covering step up (same ADRs, maximal
+  // proper-subset drug set) or down the concept lattice from `signal`.
+  // NotFound when the snapshot has no lattice navigation.
+  maras::Status Generalizations(uint32_t signal,
+                                std::vector<uint32_t>* out) const;
+  maras::Status Specializations(uint32_t signal,
+                                std::vector<uint32_t>* out) const;
+
   // Reconstructs signal `index` as the analyzer-side value type.
   maras::StatusOr<core::RankedMcac> Materialize(uint32_t index) const;
 
@@ -104,6 +120,11 @@ class SignalSnapshot {
   maras::Status ValidateRules() const;
   maras::Status ValidateSignals() const;
   maras::Status ValidatePostings() const;
+  maras::Status ValidateLattice() const;
+
+  // Shared body of Generalizations/Specializations; `spec` picks the list.
+  maras::Status LatticeList(uint32_t signal, bool spec,
+                            std::vector<uint32_t>* out) const;
 
   // Backing storage; exactly one is active (both empty for FromView).
   MappedFile mapped_;
@@ -122,6 +143,7 @@ struct ReconstructedInputs {
   std::vector<core::RankedMcac> signals;
   core::RuleSpaceStats stats;
   std::vector<std::vector<uint64_t>> report_ids;
+  bool include_lattice = true;
 };
 
 // Rebuilds everything the writer was given, from the snapshot alone.

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "mining/closed_itemsets.h"
+#include "mining/concept_lattice.h"
+#include "mining/fpgrowth.h"
 #include "test_util.h"
+#include "util/run_context.h"
 
 namespace maras::core {
 namespace {
@@ -141,6 +145,87 @@ TEST(McacTest, FourDrugContextComplete) {
   EXPECT_EQ(mcac->levels[1].size(), 6u);   // C(4,2)
   EXPECT_EQ(mcac->levels[2].size(), 4u);   // C(4,3)
   EXPECT_EQ(mcac->ContextSize(), 14u);     // 2^4 − 2
+}
+
+TEST(McacTest, ExpectedContextSizeExactValues) {
+  EXPECT_EQ(*Mcac::ExpectedContextSize(2), 2u);
+  EXPECT_EQ(*Mcac::ExpectedContextSize(3), 6u);
+  EXPECT_EQ(*Mcac::ExpectedContextSize(20), (uint64_t{1} << 20) - 2);
+  // The largest representable antecedent: 2^63 − 2 still fits in uint64_t.
+  EXPECT_EQ(*Mcac::ExpectedContextSize(63), (uint64_t{1} << 63) - 2);
+}
+
+TEST(McacTest, ExpectedContextSizeRejectsDegenerateAndOverflowing) {
+  EXPECT_TRUE(Mcac::ExpectedContextSize(0).status().IsInvalidArgument());
+  EXPECT_TRUE(Mcac::ExpectedContextSize(1).status().IsInvalidArgument());
+  // 2^64 − 2 and beyond would wrap; the guard must fire, not the shift.
+  EXPECT_TRUE(Mcac::ExpectedContextSize(64).status().IsInvalidArgument());
+  EXPECT_TRUE(Mcac::ExpectedContextSize(65).status().IsInvalidArgument());
+  EXPECT_TRUE(Mcac::ExpectedContextSize(1000).status().IsInvalidArgument());
+}
+
+TEST(McacTest, TargetPastAntecedentBoundIsStructuredError) {
+  // 21 drugs is one past kMaxMcacAntecedentDrugs: Build must return a
+  // structured InvalidArgument without attempting the 2^21 − 2 enumeration.
+  MiniCorpus corpus;
+  std::vector<std::string> drugs;
+  for (int i = 0; i < 21; ++i) drugs.push_back("D" + std::to_string(i));
+  corpus.Add({drugs, {"X"}}, 3);
+  DrugAdrRule target = TargetRule(&corpus, drugs, {"X"});
+  McacBuilder builder(&corpus.items, &corpus.db);
+  const Status status = builder.Build(target).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("21"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(McacTest, BoundaryTwentyDrugTargetPassesTheGate) {
+  // At exactly kMaxMcacAntecedentDrugs the gate itself must not fire. The
+  // full 2^20 − 2 enumeration is too slow for a unit test, so this only
+  // checks the ExpectedContextSize contract the gate is built on.
+  auto expected = Mcac::ExpectedContextSize(kMaxMcacAntecedentDrugs);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*expected, 1048574u);
+  auto over = Mcac::ExpectedContextSize(kMaxMcacAntecedentDrugs + 1);
+  ASSERT_TRUE(over.ok());
+  EXPECT_GT(*over, 1048574u);
+}
+
+TEST(McacTest, LatticeBackedBuilderMatchesEnumeration) {
+  test::MiniCorpus corpus = AsthmaCorpus();
+  auto mined =
+      mining::FpGrowth(mining::MiningOptions{.min_support = 2}).Mine(corpus.db);
+  ASSERT_TRUE(mined.ok());
+  mining::FrequentItemsetResult closed = mining::FilterClosed(*mined);
+  const RunContext ctx;
+  auto lattice = mining::ConceptLattice::Build(closed, /*num_threads=*/2, ctx);
+  ASSERT_TRUE(lattice.ok()) << lattice.status().ToString();
+  mining::SubsetSupportCache cache(&corpus.db);
+
+  DrugAdrRule target = TargetRule(
+      &corpus, {"XOLAIR", "SINGULAIR", "PREDNISONE"}, {"ASTHMA"});
+  McacBuilder plain(&corpus.items, &corpus.db);
+  McacBuilder cached(&corpus.items, &corpus.db, &*lattice, &cache);
+  auto want = plain.Build(target);
+  auto got = cached.Build(target);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->levels.size(), want->levels.size());
+  for (size_t l = 0; l < want->levels.size(); ++l) {
+    ASSERT_EQ(got->levels[l].size(), want->levels[l].size());
+    for (size_t r = 0; r < want->levels[l].size(); ++r) {
+      const DrugAdrRule& a = got->levels[l][r];
+      const DrugAdrRule& b = want->levels[l][r];
+      EXPECT_EQ(a.drugs, b.drugs);
+      EXPECT_EQ(a.support, b.support);
+      EXPECT_EQ(a.antecedent_support, b.antecedent_support);
+      EXPECT_EQ(a.confidence, b.confidence);
+      EXPECT_EQ(a.lift, b.lift);
+    }
+  }
+  // A second identical build must be served from the memo.
+  ASSERT_TRUE(cached.Build(target).ok());
+  EXPECT_GT(cache.hits(), 0u);
 }
 
 }  // namespace

@@ -163,5 +163,57 @@ TEST(QueryEngineCreateTest, NullSnapshotIsInvalidArgument) {
   EXPECT_TRUE(QueryEngine::Create(nullptr).status().IsInvalidArgument());
 }
 
+TEST(QueryEngineLatticeTest, GeneralizeAndSpecializeWalkTheCoveringChain) {
+  const ServeFixture fixture = maras::test::MakeLayeredServeFixture();
+  auto bytes = EncodeSignalSnapshot(InputsOf(fixture));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto snapshot = SignalSnapshot::FromBytes(std::move(*bytes));
+  ASSERT_TRUE(snapshot.ok());
+  auto engine = QueryEngine::Create(
+      std::make_shared<const SignalSnapshot>(std::move(*snapshot)));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->HasLatticeNav());
+
+  // Find the triple and pair signals by drug-set width.
+  uint32_t triple = UINT32_MAX, pair = UINT32_MAX;
+  for (uint32_t s = 0; s < fixture.ranked.size(); ++s) {
+    const size_t width = fixture.ranked[s].mcac.target.drugs.size();
+    if (width == 3) triple = s;
+    if (width == 2) pair = s;
+  }
+  ASSERT_NE(triple, UINT32_MAX);
+  ASSERT_NE(pair, UINT32_MAX);
+
+  auto up = engine->Generalize(triple);
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(*up, std::vector<uint32_t>{pair});
+  auto down = engine->Specialize(pair);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(*down, std::vector<uint32_t>{triple});
+  // Chain ends: nothing above the pair, nothing below the triple.
+  auto top = engine->Generalize(pair);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+  auto bottom = engine->Specialize(triple);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_TRUE(bottom->empty());
+}
+
+TEST(QueryEngineLatticeTest, LatticeFreeSnapshotReportsNotFound) {
+  const ServeFixture fixture = maras::test::MakeLayeredServeFixture();
+  SnapshotInputs inputs = InputsOf(fixture);
+  inputs.include_lattice = false;
+  auto bytes = EncodeSignalSnapshot(inputs);
+  ASSERT_TRUE(bytes.ok());
+  auto snapshot = SignalSnapshot::FromBytes(std::move(*bytes));
+  ASSERT_TRUE(snapshot.ok());
+  auto engine = QueryEngine::Create(
+      std::make_shared<const SignalSnapshot>(std::move(*snapshot)));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->HasLatticeNav());
+  EXPECT_TRUE(engine->Generalize(0).status().IsNotFound());
+  EXPECT_TRUE(engine->Specialize(0).status().IsNotFound());
+}
+
 }  // namespace
 }  // namespace maras::serve

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "mining/itemset.h"
 #include "serve/snapshot_format.h"
 #include "serve/snapshot_reader.h"
 #include "serve/snapshot_writer.h"
@@ -85,6 +86,7 @@ TEST(SnapshotRoundTripTest, DecodeReEncodeIsByteIdentical) {
   inputs.signals = &rebuilt->signals;
   inputs.stats = rebuilt->stats;
   inputs.report_ids = &rebuilt->report_ids;
+  inputs.include_lattice = rebuilt->include_lattice;
   auto re_encoded = EncodeSignalSnapshot(inputs);
   ASSERT_TRUE(re_encoded.ok()) << re_encoded.status().ToString();
   EXPECT_EQ(*re_encoded, bytes);
@@ -242,6 +244,156 @@ TEST_F(SnapshotForgeryTest, ForgedReservedField) {
   ExpectForgedRejected("forged signal reserved field");
 }
 
+// Brute-force covering relation over the ranked targets: t generalizes s
+// iff same ADR set, drugs(t) ⊊ drugs(s), and no third signal sits strictly
+// between.
+std::vector<std::vector<uint32_t>> BruteForceGeneralizations(
+    const std::vector<core::RankedMcac>& ranked) {
+  const auto proper_subset = [](const mining::Itemset& a,
+                                const mining::Itemset& b) {
+    return a.size() < b.size() && mining::IsSubset(a, b);
+  };
+  std::vector<std::vector<uint32_t>> gen(ranked.size());
+  for (uint32_t s = 0; s < ranked.size(); ++s) {
+    const core::DrugAdrRule& st = ranked[s].mcac.target;
+    for (uint32_t t = 0; t < ranked.size(); ++t) {
+      const core::DrugAdrRule& tt = ranked[t].mcac.target;
+      if (t == s || tt.adrs != st.adrs || !proper_subset(tt.drugs, st.drugs)) {
+        continue;
+      }
+      bool maximal = true;
+      for (uint32_t u = 0; u < ranked.size() && maximal; ++u) {
+        const core::DrugAdrRule& ut = ranked[u].mcac.target;
+        if (u == t || u == s || ut.adrs != st.adrs) continue;
+        if (proper_subset(tt.drugs, ut.drugs) &&
+            proper_subset(ut.drugs, st.drugs)) {
+          maximal = false;
+        }
+      }
+      if (maximal) gen[s].push_back(t);
+    }
+  }
+  return gen;
+}
+
+TEST(SnapshotLatticeTest, NavigationMatchesBruteForceCoveringRelation) {
+  const ServeFixture fixture = maras::test::MakeLayeredServeFixture();
+  auto snapshot = SignalSnapshot::FromBytes(EncodeOrDie(fixture));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  ASSERT_TRUE(snapshot->has_lattice_nav());
+  EXPECT_EQ(snapshot->counts().lattice_nav, snapshot->counts().signals);
+  const std::vector<std::vector<uint32_t>> gen =
+      BruteForceGeneralizations(fixture.ranked);
+  std::vector<std::vector<uint32_t>> spec(fixture.ranked.size());
+  size_t total = 0;
+  for (uint32_t s = 0; s < gen.size(); ++s) {
+    for (uint32_t t : gen[s]) spec[t].push_back(s);
+    total += gen[s].size();
+  }
+  ASSERT_GT(total, 0u) << "fixture must yield at least one covering edge";
+  EXPECT_EQ(snapshot->counts().lattice_edges, 2 * total);
+  for (uint32_t s = 0; s < fixture.ranked.size(); ++s) {
+    std::vector<uint32_t> got;
+    ASSERT_TRUE(snapshot->Generalizations(s, &got).ok());
+    EXPECT_EQ(got, gen[s]) << "generalizations of signal " << s;
+    ASSERT_TRUE(snapshot->Specializations(s, &got).ok());
+    EXPECT_EQ(got, spec[s]) << "specializations of signal " << s;
+  }
+}
+
+TEST(SnapshotLatticeTest, WriterWithoutLatticeRoundTripsAndReportsAbsence) {
+  const ServeFixture fixture = maras::test::MakeLayeredServeFixture();
+  SnapshotInputs inputs = InputsOf(fixture);
+  inputs.include_lattice = false;
+  auto bytes = EncodeSignalSnapshot(inputs);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto snapshot = SignalSnapshot::FromBytes(*bytes);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_FALSE(snapshot->has_lattice_nav());
+  EXPECT_EQ(snapshot->counts().lattice_nav, 0u);
+  EXPECT_EQ(snapshot->counts().lattice_edges, 0u);
+  std::vector<uint32_t> out;
+  EXPECT_TRUE(snapshot->Generalizations(0, &out).IsNotFound());
+  EXPECT_TRUE(snapshot->Specializations(0, &out).IsNotFound());
+  // The flag survives reconstruction, so decode -> re-encode stays the
+  // identity on lattice-free images too.
+  auto rebuilt = ReconstructInputs(*snapshot);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt->include_lattice);
+  SnapshotInputs re_inputs;
+  re_inputs.items = &rebuilt->items;
+  re_inputs.signals = &rebuilt->signals;
+  re_inputs.stats = rebuilt->stats;
+  re_inputs.report_ids = &rebuilt->report_ids;
+  re_inputs.include_lattice = rebuilt->include_lattice;
+  auto re_encoded = EncodeSignalSnapshot(re_inputs);
+  ASSERT_TRUE(re_encoded.ok());
+  EXPECT_EQ(*re_encoded, *bytes);
+  // And the two encodings of the same inputs differ only by the lattice.
+  EXPECT_NE(*bytes, EncodeOrDie(fixture));
+}
+
+class SnapshotLatticeForgeryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = maras::test::MakeLayeredServeFixture();
+    bytes_ = EncodeOrDie(fixture_);
+    auto snapshot = SignalSnapshot::FromBytes(bytes_);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    ASSERT_GT(snapshot->counts().lattice_edges, 0u);
+  }
+
+  size_t SectionOffset(SectionId id) const {
+    const size_t entry = kFileHeaderBytes +
+                         (static_cast<size_t>(id) - 1) * kSectionEntryBytes;
+    return maras::test::GetU32Le(bytes_, entry + 4);
+  }
+
+  void ExpectForgedRejected(const std::string& what) {
+    RestampChecksums(&bytes_);
+    auto snapshot = SignalSnapshot::FromView(bytes_);
+    EXPECT_FALSE(snapshot.ok()) << what << " accepted";
+    if (!snapshot.ok()) {
+      EXPECT_TRUE(snapshot.status().IsCorruption())
+          << what << ": " << snapshot.status().ToString();
+    }
+  }
+
+  ServeFixture fixture_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotLatticeForgeryTest, ForgedEdgeEntry) {
+  const size_t pool = SectionOffset(SectionId::kLatticeEdgePool);
+  bytes_[pool] = static_cast<char>(bytes_[pool] + 1);
+  ExpectForgedRejected("forged lattice edge entry");
+}
+
+TEST_F(SnapshotLatticeForgeryTest, ForgedNavListLength) {
+  const size_t nav = SectionOffset(SectionId::kLatticeNav);
+  bytes_[nav + kLatticeNavGenCount] =
+      static_cast<char>(bytes_[nav + kLatticeNavGenCount] + 1);
+  ExpectForgedRejected("forged lattice nav list length");
+}
+
+TEST_F(SnapshotLatticeForgeryTest, StrippedMetaLatticeCount) {
+  // Claim "no lattice" while the sections still hold bytes; geometry must
+  // object before any navigation is served.
+  const size_t meta = SectionOffset(SectionId::kMeta);
+  bytes_[meta + kMetaLatticeNavCount] = 0;
+  ExpectForgedRejected("stripped meta lattice count");
+}
+
+TEST_F(SnapshotLatticeForgeryTest, PartialNavCoverage) {
+  // A nav count strictly between 0 and the signal count is forged even if
+  // the section geometry were patched to match.
+  const size_t meta = SectionOffset(SectionId::kMeta);
+  const uint32_t signals = maras::test::GetU32Le(bytes_, meta);
+  ASSERT_GT(signals, 1u);
+  bytes_[meta + kMetaLatticeNavCount] = static_cast<char>(signals - 1);
+  ExpectForgedRejected("partial lattice nav coverage");
+}
+
 TEST(SnapshotAccessorTest, HostileQueryIndicesAreInvalidArgument) {
   const ServeFixture fixture = MakeServeFixture();
   auto snapshot = SignalSnapshot::FromBytes(
@@ -258,6 +410,11 @@ TEST(SnapshotAccessorTest, HostileQueryIndicesAreInvalidArgument) {
   EXPECT_TRUE(
       snapshot->ReportIds(counts.signals, &reports).IsInvalidArgument());
   EXPECT_FALSE(snapshot->Materialize(counts.signals).ok());
+  std::vector<uint32_t> neighbors;
+  EXPECT_TRUE(snapshot->Generalizations(counts.signals, &neighbors)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(snapshot->Specializations(counts.signals, &neighbors)
+                  .IsInvalidArgument());
 }
 
 }  // namespace

@@ -58,6 +58,33 @@ inline ServeFixture MakeServeFixture(bool extended = false) {
   return fixture;
 }
 
+// A corpus whose ranked signals form a covering chain in the concept
+// lattice: D1+D2 ⇒ X sits one covering step below D1+D2+D3 ⇒ X (same ADR,
+// maximal proper drug subset), so snapshots of this fixture carry non-empty
+// lattice-navigation lists.
+inline ServeFixture MakeLayeredServeFixture() {
+  ServeFixture fixture;
+  fixture.corpus.Add({{"D1", "D2", "D3"}, {"X"}}, 5);
+  fixture.corpus.Add({{"D1", "D2"}, {"X"}}, 4);
+  fixture.corpus.Add({{"D1"}, {"X"}}, 3);
+  fixture.corpus.Add({{"D2"}, {"Y"}}, 6);
+  fixture.corpus.Add({{"D3"}, {"Y"}}, 6);
+  core::AnalyzerOptions options;
+  options.mining.min_support = 2;
+  core::MarasAnalyzer analyzer(options);
+  auto result = analyzer.Analyze(fixture.corpus.items, fixture.corpus.db);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  fixture.stats = result->stats;
+  fixture.ranked =
+      core::RankMcacs(result->mcacs, core::RankingMethod::kExclusivenessLift,
+                      options.exclusiveness);
+  EXPECT_GE(fixture.ranked.size(), 2u);
+  for (size_t i = 0; i < fixture.corpus.db.size(); ++i) {
+    fixture.primary_ids.push_back(1000 + i);
+  }
+  return fixture;
+}
+
 inline serve::SnapshotInputs InputsOf(const ServeFixture& fixture) {
   serve::SnapshotInputs inputs;
   inputs.items = &fixture.corpus.items;

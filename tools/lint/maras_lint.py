@@ -83,6 +83,7 @@ MINING_HOT_FILES = {
     "measures.h", "measures.cc",
     "rules.h", "rules.cc",
     "bitmap.h", "bitmap.cc",
+    "concept_lattice.h", "concept_lattice.cc",
     "eclat.h", "eclat.cc",
     "transaction_db.h", "transaction_db.cc",
 }

@@ -178,6 +178,18 @@ int CmdDrillDown(const std::string& store_dir, uint32_t rank) {
     std::printf(" %llu", static_cast<unsigned long long>(id));
   }
   std::printf("\n");
+  if (engine->HasLatticeNav()) {
+    auto up = engine->Generalize(rank);
+    if (!up.ok()) return Fail(up.status());
+    std::printf("  generalizations (%zu signals, one covering step up):\n",
+                up->size());
+    for (uint32_t index : *up) PrintSignal(*engine, index);
+    auto down = engine->Specialize(rank);
+    if (!down.ok()) return Fail(down.status());
+    std::printf("  specializations (%zu signals, one covering step down):\n",
+                down->size());
+    for (uint32_t index : *down) PrintSignal(*engine, index);
+  }
   return 0;
 }
 
@@ -190,9 +202,10 @@ int CmdValidate(const std::string& path) {
   }
   const serve::SnapshotCounts& counts = snapshot->counts();
   std::printf("OK %s\n  signals=%u items=%u rules=%u levels=%u "
-              "report-ids=%u\n",
+              "report-ids=%u lattice-edges=%u%s\n",
               path.c_str(), counts.signals, counts.items, counts.rules,
-              counts.levels, counts.report_ids);
+              counts.levels, counts.report_ids, counts.lattice_edges,
+              snapshot->has_lattice_nav() ? "" : " (no lattice nav)");
   return 0;
 }
 
