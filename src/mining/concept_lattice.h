@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "mining/bitmap.h"
@@ -12,7 +11,9 @@
 #include "mining/frequent_itemsets.h"
 #include "mining/itemset.h"
 #include "mining/transaction_db.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace maras {
 struct RunContext;
@@ -149,9 +150,42 @@ class ConceptLattice {
 // Every path returns the exact database support, so the cache never affects
 // output bytes — only speed. Thread-safe: the memo is sharded by itemset
 // hash, each shard a mutex + flat keys/values + open-addressed index.
+//
+// Counter contract (relaxed atomics): each shard counts its own probes in
+// std::atomic<uint64_t> lanes incremented with memory_order_relaxed — the
+// counters order nothing and guard nothing, they are monotonic tallies
+// whose only consumers are stats accessors and benches. Consequences the
+// contract guarantees, and the stress test asserts:
+//   * every probe bumps exactly one of {hits, misses} on exactly one shard,
+//     and a fallback bump is always preceded by a miss bump on that shard;
+//   * totals reported by stats() are computed from one gather of the
+//     per-shard lanes, so Stats::hits/misses/fallbacks ALWAYS equal the
+//     sums over Stats::shards — even while probes are in flight (enforced
+//     by an assert in the accessor);
+//   * after the probing threads are joined (quiescence), hits + misses
+//     equals the number of Support() calls and fallbacks <= misses.
+// Mid-flight, individual lanes may lag each other (relaxed loads impose no
+// inter-lane ordering), so cross-lane comparisons are only exact at
+// quiescence.
 // ---------------------------------------------------------------------------
 class SubsetSupportCache {
  public:
+  // Per-shard (and, summed, whole-cache) probe tallies. The totals are
+  // derived from the `shards` snapshot in the same gather, never from a
+  // second read of the live counters.
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fallbacks = 0;
+  };
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fallbacks = 0;
+    std::vector<ShardStats> shards;
+    uint64_t probes() const { return hits + misses; }
+  };
+
   explicit SubsetSupportCache(const TransactionDatabase* db);
 
   SubsetSupportCache(const SubsetSupportCache&) = delete;
@@ -163,36 +197,48 @@ class SubsetSupportCache {
   uint64_t Support(const Itemset& s, const ConceptLattice* lattice,
                    uint32_t target_node);
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // One consistent gather of the per-shard counter lanes; totals are the
+  // sums of the returned per-shard rows by construction.
+  Stats stats() const;
+
+  uint64_t hits() const { return stats().hits; }
+  uint64_t misses() const { return stats().misses; }
   // Misses that had no lattice node to descend from (bitmap-kernel path).
-  uint64_t fallbacks() const {
-    return fallbacks_.load(std::memory_order_relaxed);
-  }
+  uint64_t fallbacks() const { return stats().fallbacks; }
+
+  static constexpr size_t kShardCount = 64;  // power of two
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::vector<Itemset> keys;
-    std::vector<uint64_t> values;
-    FlatItemsetIndex index;
+    // mu guards the memo proper. The counter lanes below it are
+    // deliberately outside the capability (relaxed atomics, see the
+    // counter contract above) so the stats accessors never contend with
+    // probes.
+    Mutex mu;
+    std::vector<Itemset> keys GUARDED_BY(mu);
+    std::vector<uint64_t> values GUARDED_BY(mu);
+    FlatItemsetIndex index GUARDED_BY(mu);
+
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> fallbacks{0};
   };
 
   // |∩ tidlists of s| via dense TidBitmap AND + popcount kernels.
   uint64_t BitmapSupport(const Itemset& s);
   const TidBitmap& ItemBitmap(ItemId item);
 
-  static constexpr size_t kShardCount = 64;  // power of two
-
   const TransactionDatabase* db_;
   std::vector<Shard> shards_;  // fixed at kShardCount, never reallocated
 
-  std::mutex bitmap_mu_;
-  std::vector<std::unique_ptr<TidBitmap>> item_bitmaps_;
-
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> fallbacks_{0};
+  // Guards lazy creation of the per-item bitmaps. The vector is sized once
+  // in the constructor and never reallocates, and a created TidBitmap is
+  // immutable from then on — so the reference ItemBitmap returns stays
+  // valid after the lock drops. Lock order: a probe may take bitmap_mu_
+  // between its two shard-mu sections but never while holding a shard mu,
+  // and no code path takes a shard mu under bitmap_mu_.
+  Mutex bitmap_mu_;
+  std::vector<std::unique_ptr<TidBitmap>> item_bitmaps_ GUARDED_BY(bitmap_mu_);
 };
 
 }  // namespace maras::mining

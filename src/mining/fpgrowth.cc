@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/run_context.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace maras::mining {
@@ -57,7 +58,7 @@ class ScratchPool {
 
   std::unique_ptr<FpGrowth::MineScratch> Acquire() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!free_.empty()) {
         auto scratch = std::move(free_.back());
         free_.pop_back();
@@ -68,14 +69,14 @@ class ScratchPool {
   }
 
   void Recycle(std::unique_ptr<FpGrowth::MineScratch> scratch) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     free_.push_back(std::move(scratch));
   }
 
   // Sum of arena bytes the pool's scratches charged. Call after the fan-out
   // has drained (every lease returned), before the arenas are freed.
   size_t TotalArenaCharged() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     size_t total = 0;
     for (const auto& scratch : free_) total += scratch->arena_charged;
     return total;
@@ -83,8 +84,11 @@ class ScratchPool {
 
  private:
   const FpTree& global_tree_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<FpGrowth::MineScratch>> free_;
+  // mu_ guards the free list only; a leased scratch is owned exclusively
+  // by its task (the lease pointer never aliases) until Recycle hands it
+  // back under the lock.
+  Mutex mu_;
+  std::vector<std::unique_ptr<FpGrowth::MineScratch>> free_ GUARDED_BY(mu_);
 };
 
 // RAII lease so a task returns its scratch on every exit path.

@@ -73,7 +73,7 @@ bool SnapshotStore::RunHook(std::string_view stage) const {
 }
 
 void SnapshotStore::AddDiagnostic(std::string message) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   diagnostics_.push_back(std::move(message));
 }
 
@@ -141,7 +141,7 @@ maras::Status SnapshotStore::Refresh() {
   // Resolution does file IO and takes the lock only to log/swap, so readers
   // calling Acquire are never blocked behind validation of a new file.
   MARAS_ASSIGN_OR_RETURN(Resolved resolved, Resolve());
-  std::lock_guard<std::mutex> lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   current_ = std::move(resolved.snapshot);
   generation_ = resolved.generation;
   return maras::Status::OK();
@@ -150,25 +150,31 @@ maras::Status SnapshotStore::Refresh() {
 maras::StatusOr<std::shared_ptr<const SignalSnapshot>>
 SnapshotStore::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ReaderMutexLock lock(&mutex_);
     if (current_ != nullptr) return current_;
   }
   MARAS_RETURN_IF_ERROR(Refresh());
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return current_;
 }
 
 uint64_t SnapshotStore::current_generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return generation_;
 }
 
 std::vector<std::string> SnapshotStore::diagnostics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return diagnostics_;
 }
 
 maras::Status SnapshotStore::Publish(const SnapshotInputs& inputs) {
+  // One publisher at a time, held across generation selection, both file
+  // writes, and the final Refresh. Without this, two concurrent publishers
+  // can read the same ListGenerations result, pick the same next number,
+  // and the second AtomicWrite silently replaces the first publisher's
+  // snapshot under a name CURRENT already commits to.
+  MutexLock publish(&publish_mu_);
   MARAS_ASSIGN_OR_RETURN(std::string bytes, EncodeSignalSnapshot(inputs));
   std::error_code ec;
   fs::create_directories(options_.dir, ec);

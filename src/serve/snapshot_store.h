@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/snapshot_reader.h"
 #include "serve/snapshot_writer.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace maras::serve {
 
@@ -56,8 +57,11 @@ class SnapshotStore {
   explicit SnapshotStore(Options options) : options_(std::move(options)) {}
 
   // Encodes `inputs` as the next generation, commits it via CURRENT, and
-  // swaps it in for subsequent Acquire calls.
-  maras::Status Publish(const SnapshotInputs& inputs);
+  // swaps it in for subsequent Acquire calls. Publishes are serialized by
+  // publish_mu_ — concurrent callers queue up rather than racing generation
+  // selection (both picking the same number and overwriting each other's
+  // file, one publish silently vanishing).
+  maras::Status Publish(const SnapshotInputs& inputs) EXCLUDES(publish_mu_);
 
   // The committed snapshot, resolving (with fallback) on first use. The
   // returned snapshot stays valid for as long as the caller holds the
@@ -96,10 +100,21 @@ class SnapshotStore {
 
   const Options options_;
 
-  mutable std::mutex mutex_;
-  std::shared_ptr<const SignalSnapshot> current_;
-  uint64_t generation_ = 0;
-  std::vector<std::string> diagnostics_;
+  // Concurrency capability model: mutex_ guards the served state — the
+  // current snapshot pointer, its generation number, and the diagnostics
+  // log. It is a reader/writer capability because the serve path is
+  // read-mostly: Acquire/current_generation/diagnostics take it shared, so
+  // queries never serialize behind each other; only a swap (Refresh) or a
+  // diagnostic append takes it exclusively. publish_mu_ is a separate
+  // whole-publish capability (see Publish) held across generation
+  // selection, the two file writes, and the final Refresh; it guards no
+  // field and never nests inside mutex_ — lock order is always
+  // publish_mu_ -> mutex_.
+  mutable SharedMutex mutex_;
+  Mutex publish_mu_ ACQUIRED_BEFORE(mutex_);
+  std::shared_ptr<const SignalSnapshot> current_ GUARDED_BY(mutex_);
+  uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  std::vector<std::string> diagnostics_ GUARDED_BY(mutex_);
 };
 
 }  // namespace maras::serve

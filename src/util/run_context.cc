@@ -4,6 +4,10 @@
 
 namespace maras {
 
+// Check/Charge are called from every worker of a parallel stage at once;
+// both are read-only over the shared token/budget atomics (Charge's CAS
+// loop is the budget's own primitive), so no lock is taken on the poll
+// path — see the lock-free contract in run_context.h.
 Status RunContext::Check() const {
   if (cancel != nullptr && cancel->cancelled()) {
     return Status::Cancelled("run cancelled");

@@ -22,6 +22,21 @@ namespace maras {
 // All three primitives are thread-safe: one RunContext is shared by every
 // worker of a parallel stage. An empty (default) RunContext is ungoverned
 // and every check passes at the cost of a couple of relaxed atomic loads.
+//
+// Concurrency capability model: this file is deliberately LOCK-FREE — there
+// is no mutex here, so nothing for the clang thread-safety analysis
+// (util/thread_annotations.h) to guard. The contract, stated once:
+//   * CancellationToken is a sticky release/acquire flag — Cancel()
+//     publishes, cancelled() observes; no other state rides on it.
+//   * MemoryBudget's used_/peak_ are relaxed CAS loops: charges are
+//     commutative tallies that order nothing, so the only guarantees are
+//     monotone peak and never-exceeds-limit, both enforced by the CAS
+//     condition itself, not by ordering.
+//   * Deadline is immutable after construction (copies share the instant).
+// Every field is either std::atomic or written only before sharing, which
+// is exactly why no GUARDED_BY appears: the mutex-annotations lint rule
+// polices mutex members, and a poll on the governed hot path must never
+// take one.
 // ---------------------------------------------------------------------------
 
 // Cooperative cancellation flag. Cancel() may be called from any thread

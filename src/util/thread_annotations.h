@@ -1,0 +1,104 @@
+#ifndef MARAS_UTIL_THREAD_ANNOTATIONS_H_
+#define MARAS_UTIL_THREAD_ANNOTATIONS_H_
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time capability semantics to mutexes and the
+// state they guard: GUARDED_BY names the lock a field needs, REQUIRES names
+// the lock a function must already hold, ACQUIRE/RELEASE mark the lock and
+// unlock primitives themselves, and SCOPED_CAPABILITY marks RAII holders.
+// Under `clang -Wthread-safety` an access that violates the declared
+// discipline is a *build break* — the static half of the race-detection
+// story, complementing the dynamic tsan-mining preset which only proves the
+// interleavings a test actually executed.
+//
+// On every other compiler (gcc carries the tier-1 suite in this repo) the
+// macros expand to nothing, so annotated code stays portable and free.
+// The `clang-thread-safety` CMake preset turns the analysis into -Werror;
+// tests/compile_fail/thread_safety_*.cc prove the gate has teeth.
+//
+// Naming follows the canonical mock header from the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the vocabulary
+// matches what the analysis itself reports.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define MARAS_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MARAS_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+// Marks a class as a capability (a lock). The string is the capability kind
+// the analysis prints in diagnostics, e.g. "mutex".
+#define CAPABILITY(x) MARAS_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (MutexLock and friends).
+#define SCOPED_CAPABILITY MARAS_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Declares that the field is protected by the given capability: reads need
+// the capability shared, writes need it exclusively.
+#define GUARDED_BY(x) MARAS_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Like GUARDED_BY, but guards the data a pointer/smart-pointer member points
+// at rather than the pointer itself.
+#define PT_GUARDED_BY(x) MARAS_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Lock-ordering declarations: this capability must be acquired before/after
+// the listed ones (deadlock prevention, checked statically).
+#define ACQUIRED_BEFORE(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+// The calling thread must already hold the capability (exclusively / shared)
+// and still holds it on return.
+#define REQUIRES(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (exclusively / shared) and does not
+// release it before returning.
+#define ACQUIRE(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability, which must be held on entry.
+#define RELEASE(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+// The function tries to acquire and returns `b` on success.
+#define TRY_ACQUIRE(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+// The calling thread must NOT hold the capability (non-reentrancy guard for
+// functions that acquire it themselves).
+#define EXCLUDES(...) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held, trusted by the analysis.
+#define ASSERT_CAPABILITY(x) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch for code whose discipline the analysis cannot express (e.g.
+// a functor invoked only under a lock its signature does not mention).
+// Every use must carry a comment stating the manual proof.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MARAS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MARAS_UTIL_THREAD_ANNOTATIONS_H_

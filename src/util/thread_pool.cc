@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/mutex.h"
+
 namespace maras {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -14,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -27,21 +29,21 @@ void ThreadPool::Submit(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_.Wait(&mu_);
   std::exception_ptr error = first_error_;
   first_error_ = nullptr;
   if (error) std::rethrow_exception(error);
@@ -51,9 +53,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) task_ready_.Wait(&mu_);
       // Even when stopping, drain the queue before exiting so destruction
       // never drops a submitted task.
       if (queue_.empty()) return;
@@ -64,13 +65,13 @@ void ThreadPool::WorkerLoop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -88,11 +89,11 @@ Status TryParallelFor(size_t num_threads, size_t n, const RunContext& ctx,
   }
   std::atomic<size_t> next{0};
   std::atomic<bool> stop{false};
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error;
   size_t first_error_index = n;  // n = no error recorded yet
   auto record_error = [&](size_t index, Status status) {
-    std::lock_guard<std::mutex> lock(error_mu);
+    MutexLock lock(&error_mu);
     if (index < first_error_index) {
       first_error_index = index;
       first_error = std::move(status);
@@ -117,7 +118,7 @@ Status TryParallelFor(size_t num_threads, size_t n, const RunContext& ctx,
     }
     pool.Wait();
   }
-  std::lock_guard<std::mutex> lock(error_mu);
+  MutexLock lock(&error_mu);
   return first_error_index < n ? first_error : Status::OK();
 }
 

@@ -1,17 +1,17 @@
 #ifndef MARAS_UTIL_THREAD_POOL_H_
 #define MARAS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/run_context.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace maras {
 
@@ -52,13 +52,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  // mu_ is the pool's single capability: queue contents, the in-flight
+  // count, the stop flag, and the stored exception all change only under
+  // it. workers_ is unguarded by design — written once in the constructor
+  // and joined in the destructor, both single-threaded by contract.
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,54 @@
+// Positive control for the thread-safety compile-fail test: identical shape
+// to thread_safety_unguarded_read.cc, except every guarded access holds the
+// right capability — exclusive for writes, shared for reads, RAII scopes
+// throughout. This file must compile clean under the same
+// `-Wthread-safety -Werror=thread-safety` flags, proving the negative test
+// fails because of the unguarded accesses and not some unrelated error.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    maras::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() {
+    maras::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  maras::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int level) {
+    maras::WriterMutexLock lock(&mu_);
+    level_ = level;
+  }
+
+  int Read() const {
+    maras::ReaderMutexLock lock(&mu_);
+    return level_;
+  }
+
+ private:
+  mutable maras::SharedMutex mu_;
+  int level_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  Gauge gauge;
+  gauge.Set(counter.Get());
+  return gauge.Read();
+}

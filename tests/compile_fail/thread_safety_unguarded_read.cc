@@ -1,0 +1,37 @@
+// Compile-time negative test for the concurrency capability model: reading
+// a GUARDED_BY field without holding its mutex must NOT compile under
+// `clang -Wthread-safety -Werror=thread-safety`. The ctest that builds this
+// file is marked WILL_FAIL — if it ever compiles, the static half of the
+// race-detection story has lost its teeth. (Registered only when a clang is
+// available; gcc expands the annotations to nothing by design.)
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    maras::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG under the capability model: value_ is read with mu_ not held.
+  int UnguardedGet() { return value_; }
+
+  // BUG: writer lock path releases without acquiring.
+  void DoubleUnlock() { mu_.Unlock(); }
+
+ private:
+  maras::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  counter.DoubleUnlock();
+  return counter.UnguardedGet();
+}

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis_stages.h"
@@ -210,6 +212,109 @@ TEST_P(ConceptLatticeTest, SubsetSupportCacheIsExactOnEveryPath) {
   }
   EXPECT_GT(cache.hits(), 0u);
   EXPECT_GT(cache.misses(), 0u);
+}
+
+// Concurrent publish/probe stress for the sharded memo, aimed at the tsan
+// preset: exactness must hold under contention, and the relaxed-atomic
+// counter contract (concept_lattice.h) must deliver what it promises — the
+// structural invariant (stats() totals equal the per-shard sums, even
+// mid-flight) plus monotonicity while probing, and exact accounting at
+// quiescence.
+TEST(SubsetSupportCacheStressTest, ConcurrentProbesStayExactAndAccounted) {
+  maras::Rng rng(733);
+  TransactionDatabase db = RandomDb(&rng, 60, 8, 5);
+  FrequentItemsetResult closed = MineClosedFamily(db, 2);
+  const RunContext ctx;
+  auto lattice = ConceptLattice::Build(closed, 2, ctx);
+  ASSERT_TRUE(lattice.ok());
+
+  // Worklist of (subset, start node, expected support), oracle computed
+  // serially up front so worker threads only read it.
+  struct Probe {
+    Itemset subset;
+    uint32_t node;
+    uint64_t want;
+  };
+  std::vector<Probe> probes;
+  for (uint32_t v = 0; v < lattice->node_count(); ++v) {
+    const Itemset node_items = NodeItemset(*lattice, v);
+    if (node_items.size() > 4) continue;
+    const size_t n = node_items.size();
+    for (size_t mask = 1; mask < (size_t{1} << n); ++mask) {
+      Itemset subset;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (size_t{1} << i)) subset.push_back(node_items[i]);
+      }
+      probes.push_back({subset, v, db.Support(subset)});
+    }
+  }
+  ASSERT_GT(probes.size(), 20u);
+
+  SubsetSupportCache cache(&db);
+  constexpr int kWorkers = 4;
+  constexpr int kRounds = 8;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> mismatches{0};
+
+  // A stats reader races the probes: the totals==shard-sums invariant is
+  // structural (single gather) and must hold at every instant, and probes()
+  // must be monotone across successive gathers.
+  std::thread stats_reader([&] {
+    uint64_t last_probes = 0;
+    uint64_t reads = 0;
+    while (!done.load(std::memory_order_acquire) || reads < 3) {
+      const SubsetSupportCache::Stats s = cache.stats();
+      uint64_t hit_sum = 0, miss_sum = 0, fb_sum = 0;
+      for (const SubsetSupportCache::ShardStats& row : s.shards) {
+        hit_sum += row.hits;
+        miss_sum += row.misses;
+        fb_sum += row.fallbacks;
+      }
+      if (s.hits != hit_sum || s.misses != miss_sum || s.fallbacks != fb_sum ||
+          s.probes() < last_probes) {
+        mismatches.fetch_add(1);
+      }
+      last_probes = s.probes();
+      ++reads;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < probes.size(); ++i) {
+          // Stagger start offsets so threads collide on different shards.
+          const Probe& p = probes[(i + static_cast<size_t>(w) * 7) %
+                                  probes.size()];
+          // Alternate lattice path and forced bitmap fallback.
+          const uint64_t got =
+              (round % 2 == 0)
+                  ? cache.Support(p.subset, &*lattice, p.node)
+                  : cache.Support(p.subset, nullptr,
+                                  ConceptLattice::kNotFound);
+          if (got != p.want) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  stats_reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Quiescence: every Support() call bumped exactly one of hits/misses, and
+  // every fallback was one of the misses.
+  const SubsetSupportCache::Stats s = cache.stats();
+  const uint64_t total_calls =
+      uint64_t{kWorkers} * uint64_t{kRounds} * probes.size();
+  EXPECT_EQ(s.probes(), total_calls);
+  EXPECT_EQ(s.hits + s.misses, total_calls);
+  EXPECT_LE(s.fallbacks, s.misses);
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_EQ(s.shards.size(), SubsetSupportCache::kShardCount);
 }
 
 TEST(ConceptLatticeTest, EmptyFamilyBuildsEmptyLattice) {

@@ -301,5 +301,83 @@ TEST(SnapshotStoreConcurrencyTest, ReadersRacePublishes) {
   EXPECT_EQ(store.current_generation(), 1u + kPublishes);
 }
 
+// Regression for the generation-selection race publish_mu_ now closes: two
+// publishers entering Publish at once could both list the same highest
+// generation, both write snapshot-N+1, and one publish silently vanished
+// under the other's overwrite. With the whole-publish lock, N concurrent
+// publishers must all succeed, produce N distinct generation files, and
+// leave the store serving generation N.
+TEST(SnapshotStoreConcurrencyTest, ConcurrentPublishersGetDistinctGenerations) {
+  const std::string dir = FreshDir("pubrace");
+  const ServeFixture fixture = MakeServeFixture();
+  SnapshotStore store(OptionsFor(dir));
+
+  constexpr int kPublishers = 4;
+  constexpr int kPerThread = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&store, &fixture, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!store.Publish(InputsOf(fixture)).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : publishers) t.join();
+
+  constexpr uint64_t kTotal = uint64_t{kPublishers} * kPerThread;
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.current_generation(), kTotal);
+  // Every publish must have landed in its own generation file — a lost
+  // publish shows up here as a gap.
+  for (uint64_t g = 1; g <= kTotal; ++g) {
+    EXPECT_TRUE(std::filesystem::exists(GenPath(dir, g))) << "generation " << g;
+  }
+}
+
+// The status accessors (current_generation, diagnostics) read state that
+// Publish/Refresh mutate; under the shared-mutex split they take the shared
+// capability while a publisher holds the exclusive one. Racing them is what
+// the tsan preset is for — unguarded reads of generation_ or current_ would
+// light up here.
+TEST(SnapshotStoreConcurrencyTest, StatusAccessorsRacePublishes) {
+  const std::string dir = FreshDir("statusrace");
+  const ServeFixture fixture = MakeServeFixture();
+  SnapshotStore store(OptionsFor(dir));
+  ASSERT_TRUE(store.Publish(InputsOf(fixture)).ok());
+
+  constexpr int kPollers = 3;
+  constexpr int kPublishes = 5;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pollers;
+  pollers.reserve(kPollers);
+  for (int r = 0; r < kPollers; ++r) {
+    pollers.emplace_back([&store, &stop, &failures] {
+      uint64_t last_gen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t gen = store.current_generation();
+        if (gen < last_gen) failures.fetch_add(1);  // must be monotone
+        last_gen = gen;
+        // Diagnostics snapshot must be internally consistent (a torn read
+        // of the vector would crash or trip TSan).
+        const std::vector<std::string> diags = store.diagnostics();
+        for (const std::string& d : diags) {
+          if (d.empty()) failures.fetch_add(1);
+        }
+        if (!store.Acquire().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kPublishes; ++p) {
+    ASSERT_TRUE(store.Publish(InputsOf(fixture)).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : pollers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.current_generation(), 1u + kPublishes);
+}
+
 }  // namespace
 }  // namespace maras::serve

@@ -91,6 +91,56 @@ TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
   EXPECT_EQ(ran.load(), 64);
 }
 
+// Shutdown-path stress for the tsan preset: hammer the construct /
+// multi-producer submit / destroy cycle so TSan gets to watch the stopping_
+// flag, the queue drain, and the worker joins race real contention. The
+// drain guarantee (nothing submitted is dropped) must hold on every cycle.
+TEST(ThreadPoolShutdownStressTest, RepeatedTeardownUnderProducerContention) {
+  constexpr int kCycles = 25;
+  constexpr int kProducers = 3;
+  constexpr int kTasksPerProducer = 40;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      std::vector<std::thread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&pool, &ran] {
+          for (int i = 0; i < kTasksPerProducer; ++i) {
+            pool.Submit([&ran] { ran.fetch_add(1); });
+          }
+        });
+      }
+      for (auto& t : producers) t.join();
+      // No Wait(): destruction races the workers against a full queue.
+    }
+    ASSERT_EQ(ran.load(), kProducers * kTasksPerProducer) << "cycle " << cycle;
+  }
+}
+
+// Wait() is idle-CondVar driven; several threads blocking in Wait() at once
+// must all wake when the queue drains, every round, without lost wakeups.
+TEST(ThreadPoolShutdownStressTest, ConcurrentWaitersAllObserveDrain) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    std::vector<std::thread> waiters;
+    std::atomic<int> woke{0};
+    for (int w = 0; w < 3; ++w) {
+      waiters.emplace_back([&pool, &woke] {
+        pool.Wait();
+        woke.fetch_add(1);
+      });
+    }
+    for (auto& t : waiters) t.join();
+    EXPECT_EQ(woke.load(), 3);
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
 TEST(EffectiveThreadsTest, SerialAndClampedCases) {
   EXPECT_EQ(EffectiveThreads(0, 100), 1u);
   EXPECT_EQ(EffectiveThreads(1, 100), 1u);

@@ -64,6 +64,12 @@ RULES = {
         "reinterpret_cast, memcpy/memmove or data()-pointer arithmetic in "
         "src/serve outside the accessor layer (bounded_view/mapped_file); "
         "snapshot bytes are hostile and must be read through BoundedView",
+    "mutex-annotations":
+        "raw std::mutex/std::shared_mutex member outside src/util/ (use the "
+        "capability-annotated maras::Mutex/SharedMutex wrappers), or a "
+        "mutex member that no thread-safety annotation ever names "
+        "(GUARDED_BY/REQUIRES/ACQUIRE/EXCLUDES...) — a lock outside the "
+        "capability model is invisible to clang -Wthread-safety",
 }
 
 # Mining files that are on the hot path and must use flat (or dense
@@ -103,6 +109,14 @@ SERVE_RAW_ACCESS_ALLOWED = {
     "src/serve/bounded_view.h",
     "src/serve/mapped_file.h",
     "src/serve/mapped_file.cc",
+}
+
+# The capability-annotated wrapper layer itself: the one place a raw std
+# mutex member may live (inside maras::Mutex/SharedMutex), and the one
+# place a mutex member needs no GUARDED_BY user.
+MUTEX_WRAPPER_ALLOWED = {
+    "src/util/mutex.h",
+    "src/util/thread_annotations.h",
 }
 
 SCAN_ROOTS = ("src", "tests", "bench", "examples", "fuzz", "tools")
@@ -436,6 +450,91 @@ def rule_serve_validated_access(relpath, text, stripped):
                    "surface")
 
 
+_MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?P<type>(?:maras\s*::\s*)?(?:Mutex|SharedMutex)\b"
+    r"|std\s*::\s*(?:shared_|recursive_|timed_|recursive_timed_)?mutex\b)"
+    r"\s+(?P<name>\w+)\s*(?:ACQUIRED_(?:BEFORE|AFTER)\s*\([^;]*\))?\s*;")
+_CLASS_HEAD_RE = re.compile(r"\b(class|struct|union)\s+[A-Za-z_]\w*[^;{()]*$")
+_NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\b[^;{]*$")
+_ENUM_HEAD_RE = re.compile(r"\benum\b[^;{]*$")
+
+
+def _scope_kinds_per_line(stripped):
+    """For each 0-based line, the innermost scope kind at line start.
+
+    Kinds: "top", "namespace", "class", "block" (function bodies, loops,
+    initializer lists...). A lexical approximation: each `{` is classified
+    by the text preceding it — class/struct/union head, namespace head, or
+    anything else (block). Good enough to tell a member declaration (inside
+    a class body, outside any nested block) from a function-local one.
+    """
+    kinds = []
+    stack = []
+    i = 0
+    line_start = 0
+    n = len(stripped)
+    kinds.append("top")
+    for i in range(n):
+        c = stripped[i]
+        if c == "\n":
+            kinds.append(stack[-1] if stack else "top")
+            line_start = i + 1
+        elif c == "{":
+            head = stripped[max(0, i - 400):i].rstrip()
+            if _CLASS_HEAD_RE.search(head):
+                stack.append("class")
+            elif _NAMESPACE_HEAD_RE.search(head):
+                stack.append("namespace")
+            elif _ENUM_HEAD_RE.search(head):
+                stack.append("enum")
+            else:
+                stack.append("block")
+        elif c == "}":
+            if stack:
+                stack.pop()
+    del line_start
+    return kinds
+
+
+_ANNOTATION_USER_TEMPLATE = (
+    r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|"
+    r"ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|TRY_ACQUIRE|TRY_ACQUIRE_SHARED|"
+    r"EXCLUDES|ACQUIRED_BEFORE|ACQUIRED_AFTER|ASSERT_CAPABILITY|"
+    r"ASSERT_SHARED_CAPABILITY|RETURN_CAPABILITY)\s*\([^)]*\b{0}\b")
+
+
+def rule_mutex_annotations(relpath, text, stripped):
+    rel = relpath.replace(os.sep, "/")
+    if not rel.startswith("src/") or rel in MUTEX_WRAPPER_ALLOWED:
+        return
+    lines = stripped.splitlines()
+    scope = _scope_kinds_per_line(stripped)
+    for i, line in enumerate(lines):
+        if i < len(scope) and scope[i] != "class":
+            continue  # function-local mutexes guard locals; members only
+        m = _MUTEX_DECL_RE.match(line)
+        if not m:
+            continue
+        mutex_type = re.sub(r"\s+", "", m.group("type"))
+        name = m.group("name")
+        if mutex_type.startswith("std::"):
+            if not rel.startswith("src/util/"):
+                yield (i + 1,
+                       f"raw {mutex_type} member `{name}`; use the "
+                       "capability-annotated maras::Mutex/SharedMutex "
+                       "(util/mutex.h) so clang -Wthread-safety can check "
+                       "lock discipline")
+                continue
+        if not re.search(_ANNOTATION_USER_TEMPLATE.format(re.escape(name)),
+                         stripped):
+            yield (i + 1,
+                   f"mutex member `{name}` is never named by a "
+                   "thread-safety annotation (GUARDED_BY/REQUIRES/"
+                   "EXCLUDES...); a lock that guards nothing statically is "
+                   "either dead or hiding unguarded state")
+
+
 RULE_FUNCS = {
     "mining-flat-containers": rule_mining_flat_containers,
     "no-raw-new-delete": rule_no_raw_new_delete,
@@ -445,6 +544,7 @@ RULE_FUNCS = {
     "statusor-unchecked-deref": rule_statusor_unchecked_deref,
     "no-raw-subprocess": rule_no_raw_subprocess,
     "serve-validated-access": rule_serve_validated_access,
+    "mutex-annotations": rule_mutex_annotations,
 }
 
 assert set(RULE_FUNCS) == set(RULES)

@@ -87,6 +87,15 @@ class RuleFixtureTest(unittest.TestCase):
         self.assert_fires("serve-validated-access", extra_expected=3)
         self.assert_quiet("serve-validated-access")
 
+    def test_mutex_annotations(self):
+        # std::mutex member, std::shared_mutex member, and an annotated-type
+        # member with no GUARDED_BY user — all three must fire; the good tree
+        # proves the member-vs-local scope split, the ACQUIRED_BEFORE
+        # declaration suffix, the src/util/mutex.h wrapper exemption, and the
+        # util-layer raw-type allowance.
+        self.assert_fires("mutex-annotations", extra_expected=3)
+        self.assert_quiet("mutex-annotations")
+
     def test_good_fixtures_clean_under_all_rules(self):
         # Cross-rule quiet check: a good fixture for one rule must not trip
         # another rule by accident.

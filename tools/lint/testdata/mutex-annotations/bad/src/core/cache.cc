@@ -1,0 +1,28 @@
+// Fixture: three mutex-annotations violations.
+//   1. raw std::mutex member outside src/util/
+//   2. raw std::shared_mutex member outside src/util/
+//   3. a maras::Mutex member that no thread-safety annotation ever names
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace maras {
+
+class RogueCache {
+ public:
+  void Put(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;
+  std::shared_mutex table_mu_;
+  maras::Mutex orphan_mu_;
+  std::vector<int> entries_;
+};
+
+}  // namespace maras

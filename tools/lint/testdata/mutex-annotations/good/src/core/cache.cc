@@ -1,0 +1,41 @@
+// Fixture: the sanctioned shapes stay quiet.
+//   - maras::Mutex / SharedMutex members named by GUARDED_BY
+//   - an ACQUIRED_BEFORE ordering suffix on the declaration itself
+//   - a function-local mutex (guards locals; the rule checks members only)
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace maras {
+
+class CleanCache {
+ public:
+  void Put(int v) {
+    MutexLock lock(&mu_);
+    entries_.push_back(v);
+  }
+
+  int Snapshot() const {
+    ReaderMutexLock lock(&table_mu_);
+    return table_size_;
+  }
+
+ private:
+  Mutex mu_ ACQUIRED_BEFORE(table_mu_);
+  mutable SharedMutex table_mu_;
+  std::vector<int> entries_ GUARDED_BY(mu_);
+  int table_size_ GUARDED_BY(table_mu_) = 0;
+};
+
+int SumLocally(const std::vector<int>& values) {
+  Mutex local_mu;  // function-local: out of the rule's scope by design
+  int total = 0;
+  for (int v : values) {
+    MutexLock lock(&local_mu);
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace maras
